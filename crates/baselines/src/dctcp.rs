@@ -1,0 +1,336 @@
+//! DCTCP (Alizadeh et al., SIGCOMM 2010) — the window-based ECN baseline
+//! the paper compares DCQCN against (§6.3, Figure 19, and the
+//! multi-bottleneck discussion of §7).
+//!
+//! Per the DCTCP paper:
+//!
+//! * the switch marks with a cut-off threshold K (instantaneous queue),
+//! * the receiver echoes CE marks back on ACKs,
+//! * the sender maintains `α ← (1 − g)·α + g·F` once per window, where `F`
+//!   is the fraction of marked ACKs in that window,
+//! * a window containing any marks is cut once: `cwnd ← cwnd·(1 − α/2)`,
+//! * otherwise standard TCP growth applies (slow start, then one MSS per
+//!   window of congestion avoidance).
+//!
+//! Unlike DCQCN this is **window-based**: the NIC sends at line rate while
+//! un-ACKed bytes fit in `cwnd`. The contrast in required ECN threshold —
+//! DCTCP needs a deep K to absorb bursts, DCQCN's hardware pacing allows a
+//! shallow K_min — is exactly the paper's Figure 19 argument.
+
+use netsim::cc::{CcActions, CongestionControl};
+use netsim::units::{Bandwidth, Time};
+
+/// DCTCP parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DctcpParams {
+    /// EWMA gain for α. The DCTCP paper recommends 1/16.
+    pub g: f64,
+    /// Maximum segment size in wire bytes (window accounting unit).
+    pub mss: u64,
+    /// Initial congestion window, in MSS.
+    pub init_cwnd_mss: u64,
+    /// Slow-start threshold at start, in MSS (effectively unbounded).
+    pub init_ssthresh_mss: u64,
+    /// Hard cap on the window, in bytes (bandwidth-delay headroom).
+    pub max_cwnd_bytes: u64,
+}
+
+impl DctcpParams {
+    /// Defaults scaled to the paper's 40 Gbps testbed: g = 1/16,
+    /// 10-segment initial window, window capped at 2 MB (≈ 400 µs of
+    /// 40 Gbps — far above the bandwidth-delay product).
+    pub fn default_40g() -> DctcpParams {
+        DctcpParams {
+            g: 1.0 / 16.0,
+            mss: 1500,
+            init_cwnd_mss: 10,
+            init_ssthresh_mss: u64::MAX / 3000,
+            max_cwnd_bytes: 2_000_000,
+        }
+    }
+}
+
+/// DCTCP sender state for one flow.
+#[derive(Debug, Clone)]
+pub struct Dctcp {
+    params: DctcpParams,
+    line_rate: Bandwidth,
+    /// Congestion window in bytes.
+    cwnd: f64,
+    /// Slow-start threshold in bytes.
+    ssthresh: f64,
+    /// The ECN-fraction EWMA α.
+    alpha: f64,
+    /// Bytes acknowledged in the current observation window.
+    window_acked: u64,
+    /// ACK-covered packets / marked packets in the current window.
+    acked_pkts: u32,
+    marked_pkts: u32,
+    /// Size of the current observation window (cwnd at its start).
+    window_size: u64,
+    /// Did the current window observe any marks?
+    saw_mark: bool,
+}
+
+impl Dctcp {
+    /// A fresh DCTCP flow.
+    pub fn new(line_rate: Bandwidth, params: DctcpParams) -> Dctcp {
+        Dctcp {
+            params,
+            line_rate,
+            cwnd: (params.init_cwnd_mss * params.mss) as f64,
+            ssthresh: (params.init_ssthresh_mss.saturating_mul(params.mss)) as f64,
+            alpha: 0.0,
+            window_acked: 0,
+            acked_pkts: 0,
+            marked_pkts: 0,
+            window_size: params.init_cwnd_mss * params.mss,
+            saw_mark: false,
+        }
+    }
+
+    /// Current α (ECN-fraction estimate).
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd_bytes(&self) -> u64 {
+        self.cwnd as u64
+    }
+
+    /// True while in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    fn clamp(&mut self) {
+        let min = self.params.mss as f64;
+        let max = self.params.max_cwnd_bytes as f64;
+        self.cwnd = self.cwnd.clamp(min, max);
+    }
+
+    fn end_window(&mut self) {
+        let frac = if self.acked_pkts > 0 {
+            self.marked_pkts as f64 / self.acked_pkts as f64
+        } else {
+            0.0
+        };
+        self.alpha = (1.0 - self.params.g) * self.alpha + self.params.g * frac;
+        if self.saw_mark {
+            // One multiplicative cut per marked window.
+            self.cwnd *= 1.0 - self.alpha / 2.0;
+            self.ssthresh = self.cwnd;
+        }
+        self.clamp();
+        self.window_acked = 0;
+        self.acked_pkts = 0;
+        self.marked_pkts = 0;
+        self.saw_mark = false;
+        self.window_size = self.cwnd as u64;
+    }
+}
+
+impl CongestionControl for Dctcp {
+    fn rate(&self) -> Bandwidth {
+        // Window-based: no pacing, the window does the throttling.
+        self.line_rate
+    }
+
+    fn window(&self) -> Option<u64> {
+        Some(self.cwnd as u64)
+    }
+
+    fn on_ack(
+        &mut self,
+        _now: Time,
+        acked_bytes: u64,
+        acked_pkts: u32,
+        marked: u32,
+        _rtt: Option<netsim::units::Duration>,
+        _actions: &mut CcActions,
+    ) {
+        // Growth first (per-ACK), cut bookkeeping at window boundaries.
+        if self.in_slow_start() {
+            self.cwnd += acked_bytes as f64;
+        } else {
+            self.cwnd += self.params.mss as f64 * acked_bytes as f64 / self.cwnd;
+        }
+        self.clamp();
+
+        self.window_acked += acked_bytes;
+        self.acked_pkts += acked_pkts;
+        self.marked_pkts += marked;
+        if marked > 0 {
+            self.saw_mark = true;
+        }
+        if self.window_acked >= self.window_size {
+            self.end_window();
+        }
+    }
+
+    fn on_loss(&mut self, _now: Time, _actions: &mut CcActions) {
+        // Timeout/NAK: classic TCP response.
+        self.ssthresh = (self.cwnd / 2.0).max(self.params.mss as f64);
+        self.cwnd = self.params.mss as f64;
+        self.clamp();
+        self.window_acked = 0;
+        self.acked_pkts = 0;
+        self.marked_pkts = 0;
+        self.saw_mark = false;
+        self.window_size = self.cwnd as u64;
+    }
+
+    fn reset(&mut self, _now: Time, _actions: &mut CcActions) {
+        *self = Dctcp::new(self.line_rate, self.params);
+    }
+
+    fn name(&self) -> &'static str {
+        "dctcp"
+    }
+}
+
+/// Convenience factory for [`netsim::network::Network::add_flow`].
+pub fn dctcp(params: DctcpParams) -> impl Fn(Bandwidth) -> Box<dyn CongestionControl> {
+    move |line| Box::new(Dctcp::new(line, params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> Dctcp {
+        Dctcp::new(Bandwidth::gbps(40), DctcpParams::default_40g())
+    }
+
+    #[test]
+    fn starts_in_slow_start_with_initial_window() {
+        let d = flow();
+        assert_eq!(d.window(), Some(15_000));
+        assert!(d.in_slow_start());
+        assert_eq!(d.alpha(), 0.0);
+        assert_eq!(d.rate(), Bandwidth::gbps(40));
+    }
+
+    #[test]
+    fn slow_start_doubles_per_window() {
+        let mut d = flow();
+        let mut a = CcActions::default();
+        let w0 = d.cwnd_bytes();
+        // ACK a full window of unmarked data.
+        d.on_ack(Time::ZERO, w0, (w0 / 1500) as u32, 0, None, &mut a);
+        assert!(d.cwnd_bytes() >= 2 * w0 - 1500, "cwnd {} < 2×{}", d.cwnd_bytes(), w0);
+    }
+
+    #[test]
+    fn congestion_avoidance_grows_one_mss_per_window() {
+        let mut d = flow();
+        let mut a = CcActions::default();
+        // Leave slow start via a marked window.
+        d.on_ack(Time::ZERO, d.cwnd_bytes(), 10, 10, None, &mut a);
+        assert!(!d.in_slow_start());
+        let w = d.cwnd_bytes();
+        // One full unmarked window in CA.
+        let mut acked = 0;
+        while acked < w {
+            d.on_ack(Time::ZERO, 1500, 1, 0, None, &mut a);
+            acked += 1500;
+        }
+        let grown = d.cwnd_bytes() as i64 - w as i64;
+        assert!((1000..2600).contains(&grown), "grew {grown} bytes");
+    }
+
+    #[test]
+    fn alpha_tracks_mark_fraction() {
+        let mut d = flow();
+        let mut a = CcActions::default();
+        // Several fully marked windows: α → 1.
+        for _ in 0..64 {
+            let w = d.cwnd_bytes();
+            d.on_ack(Time::ZERO, w, (w / 1500).max(1) as u32, (w / 1500).max(1) as u32, None, &mut a);
+        }
+        assert!(d.alpha() > 0.9, "alpha {}", d.alpha());
+        // Then unmarked windows: α decays toward 0.
+        for _ in 0..64 {
+            let w = d.cwnd_bytes();
+            d.on_ack(Time::ZERO, w, (w / 1500).max(1) as u32, 0, None, &mut a);
+        }
+        assert!(d.alpha() < 0.1, "alpha {}", d.alpha());
+    }
+
+    #[test]
+    fn low_alpha_gives_gentle_cuts() {
+        let mut d = flow();
+        let mut a = CcActions::default();
+        // Mostly unmarked traffic with an occasional mark: α small, so a
+        // marked window cuts only slightly (DCTCP's key property).
+        for _ in 0..50 {
+            let w = d.cwnd_bytes();
+            d.on_ack(Time::ZERO, w, (w / 1500).max(1) as u32, 0, None, &mut a);
+        }
+        let before = d.cwnd_bytes();
+        let w = d.cwnd_bytes();
+        d.on_ack(Time::ZERO, w, (w / 1500).max(1) as u32, 1, None, &mut a);
+        let after = d.cwnd_bytes();
+        // Cut less than 10%, unlike TCP's 50%.
+        assert!(after as f64 > before as f64 * 0.9, "{before} -> {after}");
+    }
+
+    #[test]
+    fn fully_marked_windows_halve_eventually() {
+        let mut d = flow();
+        let mut a = CcActions::default();
+        // Saturate α first.
+        for _ in 0..100 {
+            let w = d.cwnd_bytes();
+            d.on_ack(Time::ZERO, w, (w / 1500).max(1) as u32, (w / 1500).max(1) as u32, None, &mut a);
+        }
+        // With α ≈ 1 a marked window cuts ≈ 50%... but growth within the
+        // window partially offsets; net effect must push cwnd to the floor.
+        assert!(d.cwnd_bytes() <= 4 * 1500, "cwnd {}", d.cwnd_bytes());
+    }
+
+    #[test]
+    fn timeout_collapses_to_one_mss() {
+        let mut d = flow();
+        let mut a = CcActions::default();
+        d.on_ack(Time::ZERO, 15_000, 10, 0, None, &mut a);
+        d.on_loss(Time::ZERO, &mut a);
+        assert_eq!(d.cwnd_bytes(), 1500);
+        assert!(!d.in_slow_start() || d.cwnd_bytes() == 1500);
+    }
+
+    #[test]
+    fn window_never_exceeds_cap_or_floor() {
+        let mut d = flow();
+        let mut a = CcActions::default();
+        for _ in 0..1000 {
+            let w = d.cwnd_bytes();
+            d.on_ack(Time::ZERO, w, (w / 1500).max(1) as u32, 0, None, &mut a);
+        }
+        assert!(d.cwnd_bytes() <= DctcpParams::default_40g().max_cwnd_bytes);
+        for _ in 0..1000 {
+            let w = d.cwnd_bytes();
+            d.on_ack(Time::ZERO, w, (w / 1500).max(1) as u32, (w / 1500).max(1) as u32, None, &mut a);
+        }
+        assert!(d.cwnd_bytes() >= 1500);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut d = flow();
+        let mut a = CcActions::default();
+        d.on_ack(Time::ZERO, 15_000, 10, 5, None, &mut a);
+        d.reset(Time::ZERO, &mut a);
+        assert_eq!(d.cwnd_bytes(), 15_000);
+        assert_eq!(d.alpha(), 0.0);
+    }
+
+    #[test]
+    fn factory_and_name() {
+        let f = dctcp(DctcpParams::default_40g());
+        let cc = f(Bandwidth::gbps(40));
+        assert_eq!(cc.name(), "dctcp");
+        assert!(cc.window().is_some());
+    }
+}

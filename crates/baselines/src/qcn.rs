@@ -1,0 +1,270 @@
+//! QCN (IEEE 802.1Qau) reaction point — DCQCN's L2 ancestor (§2.3).
+//!
+//! QCN's congestion point computes a quantized feedback value
+//! `Fb = −(q_off + w·q_delta)` and probabilistically samples packets to
+//! carry it back to the *source MAC* — which is why it cannot cross an IP
+//! router (§2.3: "the original Ethernet header is not preserved"). In this
+//! simulator the feedback message is routed like any packet, so the
+//! baseline can still be exercised on L3 topologies; the protocol-level
+//! limitation is documented rather than replicated.
+//!
+//! The RP is rate-based like DCQCN's, but cuts in proportion to the
+//! quantized feedback (`R_C ← R_C (1 − G_d·Fb)`, `G_d = 1/128` so the
+//! maximum cut with 6-bit Fb is 50%) and recovers with the same byte
+//! counter + timer machinery DCQCN inherited.
+
+use netsim::cc::{CcActions, CongestionControl};
+use netsim::units::{Bandwidth, Duration, Time};
+
+/// Timer id for the QCN rate-increase timer.
+pub const TIMER_RATE: u32 = 1;
+
+/// QCN RP parameters (802.1Qau defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QcnParams {
+    /// Multiplicative decrease gain `G_d` (1/128: 6-bit Fb max 63 → ~49%).
+    pub gd: f64,
+    /// Byte counter for rate increase (QCN default 150 KB).
+    pub byte_counter: u64,
+    /// Rate-increase timer (QCN default 1.5 ms... the value the DCQCN
+    /// paper's strawman inherits).
+    pub rate_timer: Duration,
+    /// Fast-recovery steps before active increase.
+    pub fast_recovery_steps: u32,
+    /// Active-increase step.
+    pub rai: Bandwidth,
+    /// Hyper-increase step.
+    pub rhai: Bandwidth,
+    /// Rate floor.
+    pub min_rate: Bandwidth,
+}
+
+impl QcnParams {
+    /// 802.1Qau-recommended values.
+    pub fn standard() -> QcnParams {
+        QcnParams {
+            gd: 1.0 / 128.0,
+            byte_counter: 150_000,
+            rate_timer: Duration::from_micros(1500),
+            fast_recovery_steps: 5,
+            rai: Bandwidth::mbps(40),
+            rhai: Bandwidth::mbps(400),
+            min_rate: Bandwidth::mbps(10),
+        }
+    }
+}
+
+/// The QCN reaction point for one flow.
+#[derive(Debug, Clone)]
+pub struct QcnRp {
+    params: QcnParams,
+    line_rate: Bandwidth,
+    rc: Bandwidth,
+    rt: Bandwidth,
+    t_count: u32,
+    bc_count: u32,
+    bytes: u64,
+    limited: bool,
+}
+
+impl QcnRp {
+    /// A fresh QCN RP at line rate.
+    pub fn new(line_rate: Bandwidth, params: QcnParams) -> QcnRp {
+        QcnRp {
+            params,
+            line_rate,
+            rc: line_rate,
+            rt: line_rate,
+            t_count: 0,
+            bc_count: 0,
+            bytes: 0,
+            limited: false,
+        }
+    }
+
+    /// Target rate.
+    pub fn target_rate(&self) -> Bandwidth {
+        self.rt
+    }
+
+    /// Is the limiter engaged?
+    pub fn is_limited(&self) -> bool {
+        self.limited
+    }
+
+    fn release(&mut self, actions: &mut CcActions) {
+        self.limited = false;
+        self.rc = self.line_rate;
+        self.rt = self.line_rate;
+        self.t_count = 0;
+        self.bc_count = 0;
+        self.bytes = 0;
+        actions.disarm(TIMER_RATE);
+    }
+
+    fn rate_increase(&mut self, actions: &mut CcActions) {
+        let f = self.params.fast_recovery_steps;
+        if self.t_count.max(self.bc_count) < f {
+            // fast recovery: move halfway to target
+        } else if self.t_count.min(self.bc_count) > f {
+            let i = (self.t_count.min(self.bc_count) - f) as u64;
+            self.rt = self
+                .rt
+                .saturating_add(Bandwidth(self.params.rhai.0.saturating_mul(i)))
+                .min(self.line_rate);
+        } else {
+            self.rt = self.rt.saturating_add(self.params.rai).min(self.line_rate);
+        }
+        self.rc = self.rt.midpoint(self.rc).min(self.line_rate);
+        if self.rc == self.line_rate {
+            self.release(actions);
+        }
+    }
+}
+
+impl CongestionControl for QcnRp {
+    fn rate(&self) -> Bandwidth {
+        self.rc
+    }
+
+    fn on_qcn_feedback(&mut self, now: Time, fb: u8, actions: &mut CcActions) {
+        let fb = fb.min(63) as f64;
+        self.rt = self.rc;
+        self.rc = self
+            .rc
+            .scale(1.0 - self.params.gd * fb)
+            .max(self.params.min_rate);
+        self.t_count = 0;
+        self.bc_count = 0;
+        self.bytes = 0;
+        self.limited = true;
+        actions.arm(TIMER_RATE, now + self.params.rate_timer);
+    }
+
+    fn on_send(&mut self, _now: Time, bytes: u64, actions: &mut CcActions) {
+        if !self.limited {
+            return;
+        }
+        self.bytes += bytes;
+        while self.bytes >= self.params.byte_counter {
+            self.bytes -= self.params.byte_counter;
+            self.bc_count += 1;
+            self.rate_increase(actions);
+            if !self.limited {
+                return;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, now: Time, id: u32, actions: &mut CcActions) {
+        if !self.limited || id != TIMER_RATE {
+            return;
+        }
+        self.t_count += 1;
+        self.rate_increase(actions);
+        if self.limited {
+            actions.arm(TIMER_RATE, now + self.params.rate_timer);
+        }
+    }
+
+    fn reset(&mut self, _now: Time, actions: &mut CcActions) {
+        self.release(actions);
+    }
+
+    fn name(&self) -> &'static str {
+        "qcn"
+    }
+}
+
+/// Convenience factory for [`netsim::network::Network::add_flow`].
+pub fn qcn(params: QcnParams) -> impl Fn(Bandwidth) -> Box<dyn CongestionControl> {
+    move |line| Box::new(QcnRp::new(line, params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rp() -> QcnRp {
+        QcnRp::new(Bandwidth::gbps(40), QcnParams::standard())
+    }
+
+    #[test]
+    fn starts_unlimited_at_line_rate() {
+        let r = rp();
+        assert_eq!(r.rate(), Bandwidth::gbps(40));
+        assert!(!r.is_limited());
+    }
+
+    #[test]
+    fn max_feedback_cuts_about_half() {
+        let mut r = rp();
+        let mut a = CcActions::default();
+        r.on_qcn_feedback(Time::ZERO, 63, &mut a);
+        let gbps = r.rate().as_gbps_f64();
+        assert!((20.0..21.0).contains(&gbps), "rate {gbps}");
+        assert_eq!(r.target_rate(), Bandwidth::gbps(40));
+    }
+
+    #[test]
+    fn cut_scales_with_feedback() {
+        let mut mild = rp();
+        let mut severe = rp();
+        let mut a = CcActions::default();
+        mild.on_qcn_feedback(Time::ZERO, 4, &mut a);
+        severe.on_qcn_feedback(Time::ZERO, 60, &mut a);
+        assert!(mild.rate() > severe.rate());
+        // fb = 4: cut by 4/128 ≈ 3%.
+        assert!(mild.rate().as_gbps_f64() > 38.5);
+    }
+
+    #[test]
+    fn feedback_is_clamped_to_six_bits() {
+        let mut r = rp();
+        let mut a = CcActions::default();
+        r.on_qcn_feedback(Time::ZERO, 255, &mut a);
+        assert!(r.rate().as_gbps_f64() >= 19.9, "never cuts more than ~50%");
+    }
+
+    #[test]
+    fn byte_counter_recovery() {
+        let mut r = rp();
+        let mut a = CcActions::default();
+        r.on_qcn_feedback(Time::ZERO, 63, &mut a);
+        let r0 = r.rate();
+        // One 150 KB byte-counter period → one fast-recovery step.
+        r.on_send(Time::ZERO, 150_000, &mut a);
+        assert!(r.rate() > r0);
+    }
+
+    #[test]
+    fn full_recovery_releases_limiter() {
+        let mut r = rp();
+        let mut a = CcActions::default();
+        r.on_qcn_feedback(Time::ZERO, 63, &mut a);
+        for i in 1..10_000 {
+            if !r.is_limited() {
+                break;
+            }
+            r.on_timer(Time::from_micros(1500 * i), TIMER_RATE, &mut a);
+        }
+        assert!(!r.is_limited());
+        assert_eq!(r.rate(), Bandwidth::gbps(40));
+    }
+
+    #[test]
+    fn floor_is_respected() {
+        let mut r = rp();
+        let mut a = CcActions::default();
+        for i in 0..5000 {
+            r.on_qcn_feedback(Time::from_micros(i), 63, &mut a);
+        }
+        assert_eq!(r.rate(), QcnParams::standard().min_rate);
+    }
+
+    #[test]
+    fn factory_and_name() {
+        let f = qcn(QcnParams::standard());
+        assert_eq!(f(Bandwidth::gbps(40)).name(), "qcn");
+    }
+}

@@ -1,0 +1,298 @@
+//! TIMELY (Mittal et al., SIGCOMM 2015) — the RTT-gradient rate controller
+//! the DCQCN paper contrasts itself with in §3.3: "DCQCN is not
+//! particularly sensitive to congestion on the reverse path, as the send
+//! rate does not depend on accurate RTT estimation like TIMELY."
+//!
+//! Per the TIMELY paper, each RTT sample drives:
+//!
+//! * `new_rtt < T_low`  → additive increase `R += δ`,
+//! * `new_rtt > T_high` → multiplicative decrease
+//!   `R ← R·(1 − β·(1 − T_high/new_rtt))`,
+//! * otherwise gradient mode on the normalized RTT gradient
+//!   `g = EWMA(ΔRTT)/minRTT`:
+//!   - `g ≤ 0`: additive increase (×N after 5 consecutive negatives — HAI),
+//!   - `g > 0`: `R ← R·(1 − β·g)`.
+//!
+//! RTT samples come from the transport's ACK path; because TIMELY measures
+//! through the *data* class, its hosts send ACKs on the data priority (see
+//! `timely_host_config`), which is exactly what makes it sensitive to
+//! reverse-path congestion — reproduced in the `ext-timely` experiment.
+
+use netsim::cc::{CcActions, CongestionControl};
+use netsim::host::HostConfig;
+use netsim::packet::DATA_PRIORITY;
+use netsim::units::{Bandwidth, Duration, Time};
+
+/// TIMELY parameters (scaled to the 40 G fabric's ~10 µs base RTT).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelyParams {
+    /// Low RTT threshold `T_low`: below this, always increase.
+    pub t_low: Duration,
+    /// High RTT threshold `T_high`: above this, always decrease.
+    pub t_high: Duration,
+    /// Expected propagation (minimum) RTT, for gradient normalization.
+    pub min_rtt: Duration,
+    /// Additive increase step δ.
+    pub delta: Bandwidth,
+    /// Multiplicative decrease factor β.
+    pub beta: f64,
+    /// EWMA weight for the RTT-difference filter.
+    pub alpha: f64,
+    /// Consecutive negative-gradient samples before hyper increase.
+    pub hai_after: u32,
+    /// Rate floor.
+    pub min_rate: Bandwidth,
+}
+
+impl TimelyParams {
+    /// Defaults for the 40 Gbps testbed (base RTT ≈ 8–10 µs through one
+    /// switch): T_low 20 µs, T_high 100 µs, δ = 10 Mbps, β = 0.8.
+    pub fn default_40g() -> TimelyParams {
+        TimelyParams {
+            t_low: Duration::from_micros(20),
+            t_high: Duration::from_micros(100),
+            min_rtt: Duration::from_micros(10),
+            delta: Bandwidth::mbps(10),
+            beta: 0.8,
+            alpha: 0.875,
+            hai_after: 5,
+            min_rate: Bandwidth::mbps(10),
+        }
+    }
+}
+
+/// TIMELY sender state for one flow.
+#[derive(Debug, Clone)]
+pub struct Timely {
+    params: TimelyParams,
+    line_rate: Bandwidth,
+    rate: Bandwidth,
+    prev_rtt: Option<Duration>,
+    /// EWMA of RTT differences, in seconds.
+    rtt_diff_ewma: f64,
+    negatives: u32,
+}
+
+impl Timely {
+    /// A fresh TIMELY flow at line rate.
+    pub fn new(line_rate: Bandwidth, params: TimelyParams) -> Timely {
+        Timely {
+            params,
+            line_rate,
+            rate: line_rate,
+            prev_rtt: None,
+            rtt_diff_ewma: 0.0,
+            negatives: 0,
+        }
+    }
+
+    /// The current normalized gradient estimate.
+    pub fn gradient(&self) -> f64 {
+        self.rtt_diff_ewma / self.params.min_rtt.as_secs_f64()
+    }
+
+    fn apply_sample(&mut self, rtt: Duration) {
+        let p = self.params;
+        // Update the gradient filter first.
+        if let Some(prev) = self.prev_rtt {
+            let diff = rtt.as_secs_f64() - prev.as_secs_f64();
+            self.rtt_diff_ewma = (1.0 - p.alpha) * self.rtt_diff_ewma + p.alpha * diff;
+        }
+        self.prev_rtt = Some(rtt);
+
+        if rtt < p.t_low {
+            self.rate = self.rate.saturating_add(p.delta).min(self.line_rate);
+            self.negatives = 0;
+            return;
+        }
+        if rtt > p.t_high {
+            let f = 1.0 - p.beta * (1.0 - p.t_high.as_secs_f64() / rtt.as_secs_f64());
+            self.rate = self.rate.scale(f).max(p.min_rate);
+            self.negatives = 0;
+            return;
+        }
+        let g = self.gradient();
+        if g <= 0.0 {
+            self.negatives += 1;
+            let n = if self.negatives >= p.hai_after { 5 } else { 1 };
+            self.rate = self
+                .rate
+                .saturating_add(Bandwidth(p.delta.0 * n))
+                .min(self.line_rate);
+        } else {
+            self.negatives = 0;
+            let f = (1.0 - p.beta * g.min(1.0)).max(0.0);
+            self.rate = self.rate.scale(f).max(p.min_rate);
+        }
+    }
+}
+
+impl CongestionControl for Timely {
+    fn rate(&self) -> Bandwidth {
+        self.rate
+    }
+
+    fn on_ack(
+        &mut self,
+        _now: Time,
+        _acked_bytes: u64,
+        _acked_pkts: u32,
+        _marked: u32,
+        rtt: Option<Duration>,
+        _actions: &mut CcActions,
+    ) {
+        if let Some(sample) = rtt {
+            self.apply_sample(sample);
+        }
+    }
+
+    fn reset(&mut self, _now: Time, _actions: &mut CcActions) {
+        *self = Timely::new(self.line_rate, self.params);
+    }
+
+    fn name(&self) -> &'static str {
+        "timely"
+    }
+}
+
+/// Factory for [`netsim::network::Network::add_flow`].
+pub fn timely(params: TimelyParams) -> impl Fn(Bandwidth) -> Box<dyn CongestionControl> {
+    move |line| Box::new(Timely::new(line, params))
+}
+
+/// TIMELY host profile: no CNPs, per-packet-ish ACKs for dense RTT
+/// sampling, and — crucially — ACKs on the **data** class, so the RTT
+/// signal traverses the same queues as data (the measurement TIMELY
+/// actually performs).
+pub fn timely_host_config() -> HostConfig {
+    HostConfig {
+        cnp_interval: None,
+        ack_every: 2,
+        ack_priority: DATA_PRIORITY,
+        ..HostConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(u: u64) -> Duration {
+        Duration::from_micros(u)
+    }
+
+    fn flow() -> Timely {
+        Timely::new(Bandwidth::gbps(40), TimelyParams::default_40g())
+    }
+
+    fn ack(t: &mut Timely, rtt: Duration) {
+        let mut a = CcActions::default();
+        t.on_ack(Time::ZERO, 1500, 1, 0, Some(rtt), &mut a);
+    }
+
+    #[test]
+    fn starts_at_line_rate() {
+        let t = flow();
+        assert_eq!(t.rate(), Bandwidth::gbps(40));
+        assert_eq!(t.window(), None);
+        assert_eq!(t.name(), "timely");
+    }
+
+    #[test]
+    fn low_rtt_increases_additively() {
+        let mut t = flow();
+        // Push rate down first so increase is visible.
+        for _ in 0..20 {
+            ack(&mut t, us(300));
+        }
+        let r0 = t.rate();
+        ack(&mut t, us(5));
+        assert_eq!(t.rate(), Bandwidth(r0.0 + Bandwidth::mbps(10).0));
+    }
+
+    #[test]
+    fn high_rtt_cuts_multiplicatively() {
+        let mut t = flow();
+        ack(&mut t, us(300)); // 3× T_high
+        let expect = 1.0 - 0.8 * (1.0 - 100.0 / 300.0);
+        assert!((t.rate().as_gbps_f64() - 40.0 * expect).abs() < 0.1);
+    }
+
+    #[test]
+    fn sustained_high_rtt_drives_to_floor() {
+        let mut t = flow();
+        for _ in 0..200 {
+            ack(&mut t, us(500));
+        }
+        assert_eq!(t.rate(), TimelyParams::default_40g().min_rate);
+    }
+
+    #[test]
+    fn rising_gradient_in_band_decreases() {
+        let mut t = flow();
+        // RTT rising within [T_low, T_high]: gradient positive → decrease.
+        for rtt in [30u64, 40, 50, 60, 70, 80] {
+            ack(&mut t, us(rtt));
+        }
+        assert!(t.gradient() > 0.0);
+        assert!(t.rate() < Bandwidth::gbps(40));
+    }
+
+    #[test]
+    fn falling_gradient_in_band_increases() {
+        let mut t = flow();
+        for _ in 0..30 {
+            ack(&mut t, us(400)); // drive down
+        }
+        let r0 = t.rate();
+        for rtt in [90u64, 80, 70, 60, 50, 40, 30, 25, 24, 23] {
+            ack(&mut t, us(rtt));
+        }
+        assert!(t.gradient() < 0.0);
+        assert!(t.rate() > r0, "{} -> {}", r0, t.rate());
+    }
+
+    #[test]
+    fn hyper_increase_after_consecutive_negatives() {
+        let mut t = flow();
+        for _ in 0..30 {
+            ack(&mut t, us(400));
+        }
+        // Feed a long falling sequence within the band; after 5 samples
+        // the step jumps to 5δ.
+        let mut last = t.rate();
+        let mut steps = Vec::new();
+        for i in 0..10 {
+            ack(&mut t, us(90 - i * 5));
+            steps.push(t.rate().0 - last.0);
+            last = t.rate();
+        }
+        assert!(steps.last().unwrap() > steps.first().unwrap());
+    }
+
+    #[test]
+    fn missing_rtt_samples_are_ignored() {
+        let mut t = flow();
+        let mut a = CcActions::default();
+        t.on_ack(Time::ZERO, 1500, 1, 0, None, &mut a);
+        assert_eq!(t.rate(), Bandwidth::gbps(40));
+    }
+
+    #[test]
+    fn rate_bounds_hold_under_arbitrary_samples() {
+        let mut t = flow();
+        let p = TimelyParams::default_40g();
+        for i in 0..1000u64 {
+            ack(&mut t, us((i * 37) % 600 + 1));
+            assert!(t.rate() >= p.min_rate);
+            assert!(t.rate() <= Bandwidth::gbps(40));
+        }
+    }
+
+    #[test]
+    fn host_profile_measures_through_data_class() {
+        let c = timely_host_config();
+        assert_eq!(c.ack_priority, DATA_PRIORITY);
+        assert!(c.cnp_interval.is_none());
+    }
+}

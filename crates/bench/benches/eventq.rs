@@ -1,0 +1,63 @@
+//! Event-queue throughput: the simulator's hot path (DESIGN.md ablation:
+//! binary-heap ordering cost at different pending-set sizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::event::{Event, EventQueue};
+use netsim::rng::SplitMix64;
+use netsim::units::Time;
+use std::hint::black_box;
+
+fn bench_schedule_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eventq");
+    for &pending in &[64usize, 1024, 16384] {
+        group.bench_with_input(
+            BenchmarkId::new("churn", pending),
+            &pending,
+            |b, &pending| {
+                b.iter_batched(
+                    || {
+                        let mut q = EventQueue::new();
+                        let mut rng = SplitMix64::new(7);
+                        for _ in 0..pending {
+                            q.schedule(
+                                Time::from_nanos(rng.next_u64() % 1_000_000),
+                                Event::Sample,
+                            );
+                        }
+                        (q, rng)
+                    },
+                    |(mut q, mut rng)| {
+                        // Steady-state churn: pop one, push one, 1000 times.
+                        for _ in 0..1000 {
+                            let (t, _) = q.pop().unwrap();
+                            q.schedule(
+                                t + netsim::units::Duration::from_nanos(rng.next_u64() % 10_000),
+                                Event::Sample,
+                            );
+                        }
+                        black_box(q.events_executed())
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows: these benches exist to track regressions,
+/// not to resolve nanosecond differences.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_schedule_pop
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Packet-forwarding throughput of the full simulator: events per second
+//! on representative fabrics, with the PFC-on/PFC-off and DCQCN-on/off
+//! ablations.
+
+use bench::{dcqcn_incast, pfc_incast};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use netsim::units::Time;
+use std::hint::black_box;
+
+fn bench_star_forwarding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric");
+    group.sample_size(10);
+
+    // Calibrate throughput reporting on the number of events a 2 ms run
+    // executes.
+    let events_per_run = {
+        let (mut s, _) = pfc_incast(4, 1);
+        s.net.run_until(Time::from_millis(2));
+        s.net.events_executed()
+    };
+    group.throughput(Throughput::Elements(events_per_run));
+
+    group.bench_function("pfc_only_4to1_2ms", |b| {
+        b.iter(|| {
+            let (mut s, flows) = pfc_incast(4, 1);
+            s.net.run_until(Time::from_millis(2));
+            black_box(s.net.flow_stats(flows[0]).delivered_bytes)
+        })
+    });
+    group.bench_function("dcqcn_4to1_2ms", |b| {
+        b.iter(|| {
+            let (mut s, flows) = dcqcn_incast(4, 1);
+            s.net.run_until(Time::from_millis(2));
+            black_box(s.net.flow_stats(flows[0]).delivered_bytes)
+        })
+    });
+    group.finish();
+}
+
+fn bench_clos(c: &mut Criterion) {
+    use experiments::common::CcChoice;
+    use experiments::scenarios::unfairness_run;
+    use netsim::units::Duration;
+    let mut group = c.benchmark_group("clos");
+    group.sample_size(10);
+    group.bench_function("unfairness_5ms", |b| {
+        b.iter(|| {
+            black_box(unfairness_run(
+                CcChoice::None,
+                1,
+                Duration::from_millis(5),
+                Duration::from_millis(1),
+            ))
+        })
+    });
+    group.finish();
+}
+
+
+/// Short measurement windows: these benches exist to track regressions,
+/// not to resolve nanosecond differences.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_star_forwarding, bench_clos
+}
+criterion_main!(benches);

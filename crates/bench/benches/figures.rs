@@ -1,0 +1,270 @@
+//! One benchmark per paper table/figure: micro-scale versions of each
+//! reproduction harness (the full-scale series come from
+//! `cargo run -p experiments --release -- <id>`). These keep every
+//! experiment's machinery exercised and its cost tracked.
+
+use baselines::hostmodel::{tcp_stack, throughput, Machine, FIG1_SIZES};
+use bench::{dcqcn_incast, pfc_incast};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcqcn::np::NpState;
+use dcqcn::params::DcqcnParams;
+use dcqcn::rp::{DcqcnRp, TIMER_RATE};
+use dcqcn::thresholds;
+use experiments::common::CcChoice;
+use experiments::scenarios::{benchmark_run, unfairness_run, victim_run, BenchmarkConfig};
+use fluid::model::FluidSim;
+use fluid::params::FluidParams;
+use fluid::sweep::{g_queue_trace, sweep_pmax, two_flow_convergence};
+use netsim::buffer::BufferConfig;
+use netsim::cc::{CcActions, CongestionControl};
+use netsim::topology::{clos_testbed, parking_lot, LinkParams};
+use netsim::units::{Bandwidth, Duration, Time};
+use std::hint::black_box;
+
+fn micro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("fig1_host_model", |b| {
+        let m = Machine::paper_testbed();
+        b.iter(|| {
+            let total: f64 = FIG1_SIZES
+                .iter()
+                .map(|&s| throughput(&tcp_stack(), &m, s).gbps)
+                .sum();
+            black_box(total)
+        })
+    });
+
+    g.bench_function("fig2_build_testbed", |b| {
+        b.iter(|| {
+            let tb = clos_testbed(
+                5,
+                LinkParams::default(),
+                netsim::host::HostConfig::default(),
+                netsim::switch::SwitchConfig::paper_default(),
+                1,
+            );
+            black_box(tb.net.nodes.len())
+        })
+    });
+
+    g.bench_function("fig3_pfc_unfairness_micro", |b| {
+        b.iter(|| {
+            black_box(unfairness_run(
+                CcChoice::None,
+                1,
+                Duration::from_millis(4),
+                Duration::from_millis(1),
+            ))
+        })
+    });
+
+    g.bench_function("fig4_victim_micro", |b| {
+        b.iter(|| {
+            black_box(victim_run(
+                CcChoice::None,
+                1,
+                1,
+                Duration::from_millis(4),
+                Duration::from_millis(1),
+            ))
+        })
+    });
+
+    g.bench_function("fig5_red_curve", |b| {
+        let red = dcqcn::params::red_deployed();
+        b.iter(|| {
+            let s: f64 = (0..250).map(|kb| red.mark_probability(kb * 1000)).sum();
+            black_box(s)
+        })
+    });
+
+    g.bench_function("fig6_np_state_machine", |b| {
+        b.iter(|| {
+            let mut np = NpState::paper();
+            let mut cnps = 0u32;
+            for us in 0..500u64 {
+                cnps += np.on_packet(Time::from_micros(us), us % 3 == 0) as u32;
+            }
+            black_box(cnps)
+        })
+    });
+
+    g.bench_function("fig7_rp_trace", |b| {
+        b.iter(|| {
+            let mut rp = DcqcnRp::new(Bandwidth::gbps(40), DcqcnParams::paper());
+            let mut a = CcActions::default();
+            rp.on_cnp(Time::ZERO, &mut a);
+            rp.on_cnp(Time::from_micros(50), &mut a);
+            for i in 1..=20 {
+                rp.on_timer(Time::from_micros(100 + 55 * i), TIMER_RATE, &mut a);
+            }
+            black_box(rp.rate())
+        })
+    });
+
+    g.bench_function("fig8_dcqcn_fairness_micro", |b| {
+        b.iter(|| {
+            black_box(unfairness_run(
+                CcChoice::dcqcn_paper(),
+                1,
+                Duration::from_millis(4),
+                Duration::from_millis(1),
+            ))
+        })
+    });
+
+    g.bench_function("fig9_dcqcn_victim_micro", |b| {
+        b.iter(|| {
+            black_box(victim_run(
+                CcChoice::dcqcn_paper(),
+                1,
+                1,
+                Duration::from_millis(4),
+                Duration::from_millis(1),
+            ))
+        })
+    });
+
+    g.bench_function("fig10_fluid_vs_sim_micro", |b| {
+        b.iter(|| {
+            let (mut s, flows) = dcqcn_incast(2, 1);
+            s.net.run_until(Time::from_millis(3));
+            let sim = s.net.flow_stats(flows[0]).delivered_bytes;
+            let mut fsim = FluidSim::incast(FluidParams::paper_40g(), 2, 1e-6);
+            let trace = fsim.run(0.003, 1e-3);
+            black_box((sim, trace.queue_kb.len()))
+        })
+    });
+
+    g.bench_function("fig11_sweep_point", |b| {
+        b.iter(|| black_box(sweep_pmax(&[0.01], 0.02).len()))
+    });
+
+    g.bench_function("fig12_g_trace", |b| {
+        b.iter(|| black_box(g_queue_trace(1.0 / 256.0, 4, 0.02).queue_kb.len()))
+    });
+
+    g.bench_function("fig13_param_validation_micro", |b| {
+        b.iter(|| {
+            let red = dcqcn::params::red_cutoff_strawman();
+            let (_, diff) = two_flow_convergence(
+                &DcqcnParams::strawman(),
+                &red,
+                Bandwidth::gbps(40),
+                0.02,
+            );
+            black_box(diff)
+        })
+    });
+
+    g.bench_function("fig14_sec4_parameters", |b| {
+        b.iter(|| {
+            let p = DcqcnParams::paper();
+            let r = thresholds::report(&BufferConfig::trident2(), 8.0);
+            black_box((p.byte_counter, r.t_ecn_dynamic))
+        })
+    });
+
+    let micro_bench = |cc: CcChoice, pfc: bool, misconfig: bool| BenchmarkConfig {
+        cc,
+        pairs: 4,
+        incast_degree: 4,
+        duration: Duration::from_millis(15),
+        pfc,
+        misconfigured: misconfig,
+        nack_enabled: true,
+        seed: 1,
+    };
+
+    g.bench_function("fig15_pause_count_micro", |b| {
+        b.iter(|| black_box(benchmark_run(&micro_bench(CcChoice::None, true, false)).spine_pause_rx))
+    });
+
+    g.bench_function("fig16_benchmark_micro", |b| {
+        b.iter(|| {
+            black_box(
+                benchmark_run(&micro_bench(CcChoice::dcqcn_paper(), true, false))
+                    .incast_goodputs
+                    .len(),
+            )
+        })
+    });
+
+    g.bench_function("fig17_user_scaling_micro", |b| {
+        b.iter(|| {
+            let mut cfg = micro_bench(CcChoice::dcqcn_paper(), true, false);
+            cfg.pairs = 16;
+            black_box(benchmark_run(&cfg).user_goodputs.len())
+        })
+    });
+
+    g.bench_function("fig18_no_pfc_micro", |b| {
+        b.iter(|| black_box(benchmark_run(&micro_bench(CcChoice::dcqcn_paper(), false, false)).drops))
+    });
+
+    g.bench_function("fig19_queue_cdf_micro", |b| {
+        b.iter(|| {
+            let (mut s, _) = dcqcn_incast(2, 3);
+            let port = netsim::event::PortId(2);
+            s.net.enable_sampling(
+                Duration::from_micros(10),
+                netsim::stats::SamplerConfig {
+                    queues: vec![(s.switch, port)],
+                    ..Default::default()
+                },
+            );
+            s.net.run_until(Time::from_millis(5));
+            black_box(s.net.samples.queues[&(s.switch, port)].values.len())
+        })
+    });
+
+    g.bench_function("fig20_parking_lot_micro", |b| {
+        b.iter(|| {
+            let cc = CcChoice::dcqcn_paper();
+            let pl = parking_lot(
+                LinkParams::default(),
+                cc.host_config(),
+                cc.switch_config(true, false),
+                1,
+            );
+            let mut net = pl.net;
+            let f = cc.factory();
+            for (src, dst) in [(pl.h1, pl.r1), (pl.h2, pl.r2), (pl.h3, pl.r2)] {
+                let fl = net.add_flow(src, dst, netsim::packet::DATA_PRIORITY, &f);
+                net.send_message(fl, u64::MAX, Time::ZERO);
+            }
+            net.run_until(Time::from_millis(4));
+            black_box(net.events_executed())
+        })
+    });
+
+    // PFC-only forwarding included for a like-for-like cost baseline.
+    g.bench_function("pfc_incast_micro", |b| {
+        b.iter(|| {
+            let (mut s, flows) = pfc_incast(4, 1);
+            s.net.run_until(Time::from_millis(2));
+            black_box(s.net.flow_stats(flows[0]).delivered_bytes)
+        })
+    });
+
+    g.finish();
+}
+
+
+/// Short measurement windows: these benches exist to track regressions,
+/// not to resolve nanosecond differences.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = micro
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Fluid-model performance: integration step rate and fixed-point solve
+//! time (the §5 tooling must stay interactive for parameter screening).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fluid::fixedpoint::solve;
+use fluid::model::FluidSim;
+use fluid::params::FluidParams;
+use std::hint::black_box;
+
+fn bench_integration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fluid_step");
+    for &n in &[2usize, 16] {
+        group.throughput(Throughput::Elements(10_000));
+        group.bench_with_input(BenchmarkId::new("flows", n), &n, |b, &n| {
+            b.iter_batched(
+                || FluidSim::incast(FluidParams::paper_40g(), n, 1e-6),
+                |mut sim| {
+                    for _ in 0..10_000 {
+                        sim.step();
+                    }
+                    black_box(sim.q)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_fixed_point(c: &mut Criterion) {
+    c.bench_function("fixed_point_solve", |b| {
+        let params = FluidParams::paper_40g();
+        b.iter(|| black_box(solve(&params, 16).p))
+    });
+}
+
+
+/// Short measurement windows: these benches exist to track regressions,
+/// not to resolve nanosecond differences.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_integration, bench_fixed_point
+}
+criterion_main!(benches);

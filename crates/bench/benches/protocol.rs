@@ -1,0 +1,114 @@
+//! Protocol state-machine microbenchmarks: the per-packet / per-event
+//! costs a NIC implementation would care about.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcqcn::np::NpState;
+use dcqcn::params::DcqcnParams;
+use dcqcn::rp::{DcqcnRp, TIMER_RATE};
+use netsim::cc::{CcActions, CongestionControl};
+use netsim::ecn::RedConfig;
+use netsim::rng::SplitMix64;
+use netsim::units::{Bandwidth, Duration, Time};
+use std::hint::black_box;
+
+fn bench_rp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rp");
+    group.bench_function("cnp_cut", |b| {
+        let mut rp = DcqcnRp::new(Bandwidth::gbps(40), DcqcnParams::paper());
+        let mut now = Time::ZERO;
+        b.iter(|| {
+            let mut a = CcActions::default();
+            now += Duration::from_micros(50);
+            rp.on_cnp(now, &mut a);
+            black_box(rp.rate())
+        })
+    });
+    group.bench_function("timer_increase", |b| {
+        let mut rp = DcqcnRp::new(Bandwidth::gbps(40), DcqcnParams::paper());
+        let mut a = CcActions::default();
+        rp.on_cnp(Time::ZERO, &mut a);
+        let mut now = Time::ZERO;
+        b.iter(|| {
+            let mut a = CcActions::default();
+            now += Duration::from_micros(55);
+            rp.on_timer(now, TIMER_RATE, &mut a);
+            // Keep it limited so the path stays hot.
+            if !rp.is_limited() {
+                rp.on_cnp(now, &mut a);
+            }
+            black_box(rp.rate())
+        })
+    });
+    group.bench_function("byte_counter_send", |b| {
+        let mut rp = DcqcnRp::new(Bandwidth::gbps(40), DcqcnParams::paper());
+        let mut a = CcActions::default();
+        rp.on_cnp(Time::ZERO, &mut a);
+        b.iter(|| {
+            let mut a = CcActions::default();
+            rp.on_send(Time::ZERO, 1500, &mut a);
+            black_box(rp.rate())
+        })
+    });
+    group.finish();
+}
+
+fn bench_np(c: &mut Criterion) {
+    c.bench_function("np_marked_packet", |b| {
+        let mut np = NpState::paper();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(np.on_packet(Time::from_nanos(t * 300), true))
+        })
+    });
+}
+
+fn bench_red(c: &mut Criterion) {
+    c.bench_function("red_sample", |b| {
+        let red = dcqcn::params::red_deployed();
+        let mut rng = SplitMix64::new(3);
+        let mut q = 0u64;
+        b.iter(|| {
+            q = (q + 1500) % 250_000;
+            black_box(red.should_mark(q, &mut rng))
+        })
+    });
+    c.bench_function("red_cutoff_sample", |b| {
+        let red = RedConfig::cutoff(40_000);
+        let mut rng = SplitMix64::new(3);
+        let mut q = 0u64;
+        b.iter(|| {
+            q = (q + 1500) % 80_000;
+            black_box(red.should_mark(q, &mut rng))
+        })
+    });
+}
+
+fn bench_dctcp(c: &mut Criterion) {
+    use baselines::dctcp::{Dctcp, DctcpParams};
+    c.bench_function("dctcp_ack", |b| {
+        let mut d = Dctcp::new(Bandwidth::gbps(40), DctcpParams::default_40g());
+        b.iter(|| {
+            let mut a = CcActions::default();
+            d.on_ack(Time::ZERO, 3000, 2, 1, None, &mut a);
+            black_box(d.cwnd_bytes())
+        })
+    });
+}
+
+
+/// Short measurement windows: these benches exist to track regressions,
+/// not to resolve nanosecond differences.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_rp, bench_np, bench_red, bench_dctcp
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! # bench — Criterion benchmarks
+//!
+//! Two kinds of benches live here:
+//!
+//! * **substrate performance** (`eventq`, `fabric`, `protocol`,
+//!   `fluidmodel`) — how fast the simulator and the state machines run,
+//!   including the ablations DESIGN.md calls out (binary-heap event queue,
+//!   PFC on/off forwarding cost, RED sampling),
+//! * **per-figure harnesses** (`figures`) — micro-scale versions of every
+//!   paper experiment, so regressions in *reproduction cost* are caught;
+//!   the full-scale numbers come from `cargo run -p experiments`.
+
+use dcqcn::prelude::*;
+use netsim::prelude::*;
+use netsim::topology::{star, LinkParams, Star};
+
+/// Builds an n:1 DCQCN incast on a star, ready to run.
+pub fn dcqcn_incast(n: usize, seed: u64) -> (Star, Vec<FlowId>) {
+    let params = DcqcnParams::paper();
+    let mut s = star(
+        n + 1,
+        LinkParams::default(),
+        dcqcn_host_config(params),
+        SwitchConfig::paper_default().with_red(red_deployed()),
+        seed,
+    );
+    let dst = s.hosts[n];
+    let flows: Vec<FlowId> = (0..n)
+        .map(|i| s.net.add_flow(s.hosts[i], dst, DATA_PRIORITY, dcqcn(params)))
+        .collect();
+    for &f in &flows {
+        s.net.send_message(f, u64::MAX, Time::ZERO);
+    }
+    (s, flows)
+}
+
+/// Builds an n:1 PFC-only incast on a star.
+pub fn pfc_incast(n: usize, seed: u64) -> (Star, Vec<FlowId>) {
+    let mut s = star(
+        n + 1,
+        LinkParams::default(),
+        HostConfig {
+            cnp_interval: None,
+            ..HostConfig::default()
+        },
+        SwitchConfig::paper_default(),
+        seed,
+    );
+    let dst = s.hosts[n];
+    let flows: Vec<FlowId> = (0..n)
+        .map(|i| {
+            s.net
+                .add_flow(s.hosts[i], dst, DATA_PRIORITY, |l| Box::new(NoCc::new(l)))
+        })
+        .collect();
+    for &f in &flows {
+        s.net.send_message(f, u64::MAX, Time::ZERO);
+    }
+    (s, flows)
+}

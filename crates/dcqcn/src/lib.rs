@@ -1,0 +1,77 @@
+#![warn(missing_docs)]
+
+//! # dcqcn — Datacenter QCN congestion control
+//!
+//! The primary contribution of *"Congestion Control for Large-Scale RDMA
+//! Deployments"* (Zhu et al., SIGCOMM 2015): a rate-based, end-to-end
+//! congestion control protocol for RoCEv2 implemented entirely in NICs and
+//! commodity switch features (RED/ECN), designed to keep PFC from firing.
+//!
+//! The protocol has three parts:
+//!
+//! * **CP** (congestion point, the switch): RED/ECN marking on the egress
+//!   queue — configured via [`params::red_deployed`] and friends; the
+//!   mechanism itself lives in `netsim::ecn`,
+//! * **NP** (notification point, the receiver): paced CNP generation —
+//!   [`np::NpState`],
+//! * **RP** (reaction point, the sender): multiplicative rate cuts on CNPs
+//!   with byte-counter/timer-driven recovery — [`rp::DcqcnRp`], a
+//!   [`netsim::cc::CongestionControl`] implementation.
+//!
+//! [`thresholds`] reproduces the §4 switch buffer engineering that
+//! guarantees ECN marks before PFC pauses.
+//!
+//! ## Running DCQCN on a simulated fabric
+//!
+//! ```
+//! use dcqcn::prelude::*;
+//! use netsim::prelude::*;
+//!
+//! let params = DcqcnParams::paper();
+//! let mut star = netsim::topology::star(
+//!     3,
+//!     netsim::topology::LinkParams::default(),
+//!     dcqcn_host_config(params),
+//!     SwitchConfig::paper_default().with_red(red_deployed()),
+//!     7,
+//! );
+//! // 2:1 incast of greedy flows.
+//! let f1 = star.net.add_flow(star.hosts[0], star.hosts[2], DATA_PRIORITY, dcqcn(params));
+//! let f2 = star.net.add_flow(star.hosts[1], star.hosts[2], DATA_PRIORITY, dcqcn(params));
+//! star.net.send_message(f1, u64::MAX, Time::ZERO);
+//! star.net.send_message(f2, u64::MAX, Time::ZERO);
+//! star.net.run_until(Time::from_millis(60));
+//! // The two flows share the bottleneck fairly and recover to high
+//! // utilization after the line-rate-start transient.
+//! let g1 = star.net.flow_stats(f1).delivered_bytes as f64;
+//! let g2 = star.net.flow_stats(f2).delivered_bytes as f64;
+//! assert!((g1 + g2) * 8.0 / 60e-3 / 1e9 > 25.0, "high utilization");
+//! assert!((g1 - g2).abs() / (g1 + g2) < 0.1, "fair split");
+//! ```
+
+pub mod np;
+pub mod params;
+pub mod rp;
+pub mod thresholds;
+
+use netsim::host::HostConfig;
+
+/// A `netsim` host configuration whose NP matches `params` (CNP pacing at
+/// the configured interval; everything else default).
+pub fn dcqcn_host_config(params: params::DcqcnParams) -> HostConfig {
+    HostConfig {
+        cnp_interval: Some(params.cnp_interval),
+        ..HostConfig::default()
+    }
+}
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::dcqcn_host_config;
+    pub use crate::np::NpState;
+    pub use crate::params::{
+        red_cutoff_dctcp_40g, red_cutoff_strawman, red_deployed, DcqcnParams,
+    };
+    pub use crate::rp::{dcqcn, DcqcnRp};
+    pub use crate::thresholds;
+}

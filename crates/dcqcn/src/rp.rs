@@ -1,0 +1,502 @@
+//! The DCQCN reaction point (RP) — the sender-side rate controller of
+//! §3.1, Figure 7 and Equations 1–4.
+//!
+//! On every CNP the RP cuts its rate multiplicatively and remembers the
+//! pre-cut rate as the recovery target:
+//!
+//! ```text
+//! R_T ← R_C            R_C ← R_C (1 − α/2)          α ← (1 − g) α + g
+//! ```
+//!
+//! When no CNP arrives for `K` time units, α decays: `α ← (1 − g) α`.
+//!
+//! Rate increases are driven by a **byte counter** (every `B` sent bytes)
+//! and a **timer** (every `T`), counted since the last CNP as `BC` and `T`:
+//!
+//! * fast recovery while `max(T, BC) < F`:   `R_C ← (R_T + R_C)/2`
+//! * hyper increase once `min(T, BC) > F`:   `R_T ← R_T + i·R_HAI`
+//! * additive increase otherwise:            `R_T ← R_T + R_AI`
+//!
+//! (both increase phases then also set `R_C ← (R_T + R_C)/2`).
+//!
+//! Per §3.3, the state exists only while the flow is rate limited: when
+//! `R_C` recovers to the line rate the limiter is released and the next
+//! congestion episode starts fresh (α = 1, "flows start at line rate").
+
+use crate::params::DcqcnParams;
+use netsim::cc::{CcActions, CongestionControl};
+use netsim::units::{Bandwidth, Time};
+
+/// Timer id for the α-decay timer (`K`).
+pub const TIMER_ALPHA: u32 = 0;
+/// Timer id for the rate-increase timer (`T`).
+pub const TIMER_RATE: u32 = 1;
+
+/// The DCQCN reaction point for one flow.
+#[derive(Debug, Clone)]
+pub struct DcqcnRp {
+    params: DcqcnParams,
+    line_rate: Bandwidth,
+    /// Current rate `R_C`.
+    rc: Bandwidth,
+    /// Target rate `R_T`.
+    rt: Bandwidth,
+    /// Rate-reduction factor α.
+    alpha: f64,
+    /// Timer expirations since the last CNP (`T` in Figure 7).
+    t_count: u32,
+    /// Byte-counter expirations since the last CNP (`BC` in Figure 7).
+    bc_count: u32,
+    /// Bytes sent since the byte counter last expired.
+    bytes: u64,
+    /// Is the hardware rate limiter engaged?
+    limited: bool,
+}
+
+impl DcqcnRp {
+    /// A fresh RP: unlimited, sending at line rate.
+    pub fn new(line_rate: Bandwidth, params: DcqcnParams) -> DcqcnRp {
+        DcqcnRp {
+            params,
+            line_rate,
+            rc: line_rate,
+            rt: line_rate,
+            alpha: 1.0,
+            t_count: 0,
+            bc_count: 0,
+            bytes: 0,
+            limited: false,
+        }
+    }
+
+    /// Current α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Target rate `R_T`.
+    pub fn target_rate(&self) -> Bandwidth {
+        self.rt
+    }
+
+    /// Is the rate limiter currently engaged?
+    pub fn is_limited(&self) -> bool {
+        self.limited
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> &DcqcnParams {
+        &self.params
+    }
+
+    fn release(&mut self, actions: &mut CcActions) {
+        self.limited = false;
+        self.rc = self.line_rate;
+        self.rt = self.line_rate;
+        self.alpha = 1.0;
+        self.t_count = 0;
+        self.bc_count = 0;
+        self.bytes = 0;
+        actions.disarm(TIMER_ALPHA);
+        actions.disarm(TIMER_RATE);
+    }
+
+    /// One rate-increase event (from either the timer or the byte counter),
+    /// per the Figure 7 state machine.
+    fn rate_increase(&mut self, actions: &mut CcActions) {
+        let f = self.params.fast_recovery_steps;
+        if self.t_count.max(self.bc_count) < f {
+            // Fast recovery: halve the gap to the target (Equation 3).
+        } else if self.t_count.min(self.bc_count) > f {
+            // Hyper increase: both clocks past F (Equation 4 with R_HAI,
+            // scaled by how deep into the hyper phase we are, per QCN).
+            let i = (self.t_count.min(self.bc_count) - f) as u64;
+            self.rt = self
+                .rt
+                .saturating_add(Bandwidth(self.params.rhai.0.saturating_mul(i)))
+                .min(self.line_rate);
+        } else {
+            // Additive increase (Equation 4).
+            self.rt = self.rt.saturating_add(self.params.rai).min(self.line_rate);
+        }
+        self.rc = self.rt.midpoint(self.rc).min(self.line_rate);
+        if self.rc == self.line_rate {
+            // Fully recovered: free the limiter (§3.3).
+            self.release(actions);
+        }
+    }
+}
+
+impl CongestionControl for DcqcnRp {
+    fn rate(&self) -> Bandwidth {
+        self.rc
+    }
+
+    fn on_cnp(&mut self, now: Time, actions: &mut CcActions) {
+        // Equation 1: cut rate, remember target, bump α.
+        self.rt = self.rc;
+        self.rc = self
+            .rc
+            .scale(1.0 - self.alpha / 2.0)
+            .max(self.params.min_rate);
+        self.alpha = (1.0 - self.params.g) * self.alpha + self.params.g;
+        // Figure 7: Reset(Timer, ByteCounter, T, BC, AlphaTimer).
+        self.t_count = 0;
+        self.bc_count = 0;
+        self.bytes = 0;
+        self.limited = true;
+        actions.arm(TIMER_ALPHA, now + self.params.alpha_timer);
+        actions.arm(TIMER_RATE, now + self.params.rate_timer);
+    }
+
+    fn on_send(&mut self, _now: Time, bytes: u64, actions: &mut CcActions) {
+        if !self.limited {
+            return;
+        }
+        self.bytes += bytes;
+        while self.bytes >= self.params.byte_counter {
+            self.bytes -= self.params.byte_counter;
+            self.bc_count += 1;
+            self.rate_increase(actions);
+            if !self.limited {
+                return;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, now: Time, id: u32, actions: &mut CcActions) {
+        if !self.limited {
+            return;
+        }
+        match id {
+            TIMER_ALPHA => {
+                // Equation 2: no CNP for K time units.
+                self.alpha *= 1.0 - self.params.g;
+                actions.arm(TIMER_ALPHA, now + self.params.alpha_timer);
+            }
+            TIMER_RATE => {
+                self.t_count += 1;
+                self.rate_increase(actions);
+                if self.limited {
+                    actions.arm(TIMER_RATE, now + self.params.rate_timer);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn reset(&mut self, _now: Time, actions: &mut CcActions) {
+        self.release(actions);
+    }
+
+    fn name(&self) -> &'static str {
+        "dcqcn"
+    }
+}
+
+/// Convenience: a closure suitable for [`netsim::network::Network::add_flow`].
+pub fn dcqcn(params: DcqcnParams) -> impl Fn(Bandwidth) -> Box<dyn CongestionControl> {
+    move |line| Box::new(DcqcnRp::new(line, params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::units::Duration;
+
+    fn rp() -> DcqcnRp {
+        DcqcnRp::new(Bandwidth::gbps(40), DcqcnParams::paper())
+    }
+
+    #[test]
+    fn starts_at_line_rate_unlimited() {
+        let r = rp();
+        assert_eq!(r.rate(), Bandwidth::gbps(40));
+        assert!(!r.is_limited());
+        assert_eq!(r.alpha(), 1.0);
+        assert_eq!(r.window(), None);
+    }
+
+    #[test]
+    fn first_cnp_halves_rate() {
+        // With initial α = 1, the first cut is R_C(1 − 1/2) = R_C/2.
+        let mut r = rp();
+        let mut a = CcActions::default();
+        r.on_cnp(Time::from_micros(100), &mut a);
+        assert_eq!(r.rate(), Bandwidth::gbps(20));
+        assert_eq!(r.target_rate(), Bandwidth::gbps(40));
+        assert!(r.is_limited());
+        // α ← (1−g)·1 + g = 1 still.
+        assert!((r.alpha() - 1.0).abs() < 1e-12);
+        // Both timers armed.
+        let ids: Vec<u32> = a.timers.iter().map(|&(id, _)| id).collect();
+        assert!(ids.contains(&TIMER_ALPHA) && ids.contains(&TIMER_RATE));
+    }
+
+    #[test]
+    fn alpha_decays_without_cnps() {
+        let mut r = rp();
+        let mut a = CcActions::default();
+        r.on_cnp(Time::ZERO, &mut a);
+        let a0 = r.alpha();
+        let mut t = Time::ZERO + Duration::from_micros(55);
+        for _ in 0..10 {
+            r.on_timer(t, TIMER_ALPHA, &mut a);
+            t += Duration::from_micros(55);
+        }
+        let g: f64 = 1.0 / 256.0;
+        let expect = a0 * (1.0 - g).powi(10);
+        assert!((r.alpha() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_recovery_converges_to_target() {
+        let mut r = rp();
+        let mut a = CcActions::default();
+        r.on_cnp(Time::ZERO, &mut a);
+        let target = r.target_rate();
+        let mut last_gap = target.0 - r.rate().0;
+        // F−1 = 4 timer events stay in fast recovery, halving the gap.
+        for i in 0..4 {
+            r.on_timer(Time::from_micros(55 * (i + 1)), TIMER_RATE, &mut a);
+            let gap = target.0 - r.rate().0;
+            assert!(gap <= last_gap / 2 + 1, "gap did not halve");
+            last_gap = gap;
+            assert_eq!(r.target_rate(), target, "target fixed in fast recovery");
+        }
+    }
+
+    #[test]
+    fn additive_increase_raises_target_by_rai() {
+        let mut r = rp();
+        let mut a = CcActions::default();
+        // Two cuts so the target sits below line rate (no clamping).
+        r.on_cnp(Time::ZERO, &mut a);
+        r.on_cnp(Time::from_micros(50), &mut a);
+        let t0 = r.target_rate();
+        assert_eq!(t0, Bandwidth::gbps(20));
+        // Drive 5 timer expirations: the 5th (T = 5 = F, max(T,BC) = F) is
+        // additive increase.
+        for i in 0..5 {
+            r.on_timer(Time::from_micros(100 + 55 * (i + 1)), TIMER_RATE, &mut a);
+        }
+        assert_eq!(r.target_rate(), Bandwidth(t0.0 + Bandwidth::mbps(40).0));
+    }
+
+    #[test]
+    fn byte_counter_drives_increase() {
+        let p = DcqcnParams::paper().with_byte_counter(1_000_000);
+        let mut r = DcqcnRp::new(Bandwidth::gbps(40), p);
+        let mut a = CcActions::default();
+        r.on_cnp(Time::ZERO, &mut a);
+        let rc0 = r.rate();
+        // 1 MB sent → one byte-counter event → fast recovery step.
+        r.on_send(Time::from_micros(10), 1_000_000, &mut a);
+        assert!(r.rate() > rc0);
+        assert_eq!(r.rate(), r.target_rate().midpoint(rc0));
+    }
+
+    #[test]
+    fn byte_counter_accumulates_partial_sends() {
+        let p = DcqcnParams::paper().with_byte_counter(10_000);
+        let mut r = DcqcnRp::new(Bandwidth::gbps(40), p);
+        let mut a = CcActions::default();
+        r.on_cnp(Time::ZERO, &mut a);
+        let rc0 = r.rate();
+        for _ in 0..6 {
+            r.on_send(Time::ZERO, 1_500, &mut a);
+        }
+        // 9000 bytes: no event yet.
+        assert_eq!(r.rate(), rc0);
+        r.on_send(Time::ZERO, 1_500, &mut a);
+        assert!(r.rate() > rc0);
+    }
+
+    #[test]
+    fn recovery_to_line_rate_releases_limiter() {
+        let mut r = rp();
+        let mut a = CcActions::default();
+        r.on_cnp(Time::ZERO, &mut a);
+        // Many timer events: fast recovery back toward 40G, then additive
+        // increase pushes the target up; eventually R_C == line rate.
+        for i in 1..10_000 {
+            if !r.is_limited() {
+                break;
+            }
+            r.on_timer(Time::from_micros(55 * i), TIMER_RATE, &mut a);
+        }
+        assert!(!r.is_limited());
+        assert_eq!(r.rate(), Bandwidth::gbps(40));
+        assert_eq!(r.alpha(), 1.0, "released state starts fresh");
+        // Timers disarmed at release.
+        assert_eq!(a.timers.last().map(|&(id, at)| (id, at)).unwrap().1, Time::NEVER);
+    }
+
+    #[test]
+    fn repeated_cnps_drive_rate_toward_floor() {
+        let mut r = rp();
+        let mut a = CcActions::default();
+        for i in 0..2000 {
+            r.on_cnp(Time::from_micros(50 * i), &mut a);
+        }
+        assert_eq!(r.rate(), DcqcnParams::paper().min_rate);
+    }
+
+    #[test]
+    fn alpha_saturates_at_one_under_sustained_cnps() {
+        let mut r = rp();
+        let mut a = CcActions::default();
+        for i in 0..100 {
+            r.on_cnp(Time::from_micros(50 * i), &mut a);
+            assert!(r.alpha() <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn hyper_increase_engages_after_f_both_clocks() {
+        // Tiny byte counter so BC races ahead, then timers catch up.
+        let p = DcqcnParams::paper().with_byte_counter(1000);
+        let mut r = DcqcnRp::new(Bandwidth::gbps(400), p); // huge line rate so we stay limited
+        let mut a = CcActions::default();
+        // Two cuts: rt = 200 G, rc = 100 G — far from the line-rate clamp.
+        r.on_cnp(Time::ZERO, &mut a);
+        r.on_cnp(Time::from_micros(50), &mut a);
+        // 6 byte-counter events: BC = 6 > F.
+        for _ in 0..6 {
+            r.on_send(Time::from_micros(60), 1000, &mut a);
+        }
+        // 5 timer events: min(T,BC) = T ≤ F, so no hyper increase yet.
+        for i in 1..=5 {
+            r.on_timer(Time::from_micros(100 + 55 * i), TIMER_RATE, &mut a);
+        }
+        let before = r.target_rate();
+        // 6th timer event: min(6, 6) > F → hyper increase by i·R_HAI.
+        r.on_timer(Time::from_micros(100 + 55 * 6), TIMER_RATE, &mut a);
+        assert!(
+            r.target_rate().0 - before.0 >= Bandwidth::mbps(400).0,
+            "hyper increase step (got {} -> {})",
+            before,
+            r.target_rate()
+        );
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut r = rp();
+        let mut a = CcActions::default();
+        r.on_cnp(Time::ZERO, &mut a);
+        r.reset(Time::from_millis(5), &mut a);
+        assert!(!r.is_limited());
+        assert_eq!(r.rate(), Bandwidth::gbps(40));
+        assert_eq!(r.alpha(), 1.0);
+    }
+
+    #[test]
+    fn unlimited_rp_ignores_timers_and_sends() {
+        let mut r = rp();
+        let mut a = CcActions::default();
+        r.on_timer(Time::from_micros(55), TIMER_RATE, &mut a);
+        r.on_send(Time::ZERO, 100_000_000, &mut a);
+        assert_eq!(r.rate(), Bandwidth::gbps(40));
+        assert!(!r.is_limited());
+    }
+
+    #[test]
+    fn factory_builds_flows_at_line_rate() {
+        let f = dcqcn(DcqcnParams::paper());
+        let cc = f(Bandwidth::gbps(10));
+        assert_eq!(cc.rate(), Bandwidth::gbps(10));
+        assert_eq!(cc.name(), "dcqcn");
+    }
+
+    /// Equation 1 cross-check: two successive CNPs with α updates.
+    #[test]
+    fn equation_one_sequence() {
+        let g = 1.0 / 256.0;
+        let mut r = rp();
+        let mut a = CcActions::default();
+        r.on_cnp(Time::ZERO, &mut a);
+        // After 1st: rc = 20G, α = 1.
+        r.on_cnp(Time::from_micros(50), &mut a);
+        // rt = 20G; rc = 20G(1 − α/2) with α = 1 → 10G; α ← (1−g)·1+g = 1.
+        assert_eq!(r.target_rate(), Bandwidth::gbps(20));
+        assert_eq!(r.rate(), Bandwidth::gbps(10));
+        let _ = g;
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use netsim::units::Duration;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Under arbitrary interleavings of CNPs, timers and sends, the RP
+        /// never violates min_rate ≤ R_C ≤ R_T ≤ line, α ∈ [0, 1], and a
+        /// released limiter always reports exactly the line rate.
+        #[test]
+        fn rp_invariants(events in prop::collection::vec(0u8..5, 1..400), line_gbps in 1u64..100) {
+            let line = Bandwidth::gbps(line_gbps);
+            let p = DcqcnParams::paper();
+            let mut rp = DcqcnRp::new(line, p);
+            let mut now = Time::ZERO;
+            let mut a = CcActions::default();
+            for e in events {
+                now = now + Duration::from_micros(13);
+                match e {
+                    0 => rp.on_cnp(now, &mut a),
+                    1 => rp.on_timer(now, TIMER_RATE, &mut a),
+                    2 => rp.on_timer(now, TIMER_ALPHA, &mut a),
+                    3 => rp.on_send(now, 1500, &mut a),
+                    _ => rp.reset(now, &mut a),
+                }
+                prop_assert!(rp.rate() >= p.min_rate.min(line));
+                prop_assert!(rp.rate() <= line);
+                prop_assert!(rp.rate() <= rp.target_rate());
+                prop_assert!(rp.target_rate() <= line);
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&rp.alpha()));
+                if !rp.is_limited() {
+                    prop_assert_eq!(rp.rate(), line);
+                    prop_assert!((rp.alpha() - 1.0).abs() < 1e-12);
+                }
+            }
+        }
+
+        /// CNPs strictly reduce the rate until the floor, regardless of
+        /// prior state.
+        #[test]
+        fn cnp_is_monotone_decrease(pre_timers in 0u32..20) {
+            let p = DcqcnParams::paper();
+            let mut rp = DcqcnRp::new(Bandwidth::gbps(40), p);
+            let mut a = CcActions::default();
+            let mut now = Time::ZERO;
+            rp.on_cnp(now, &mut a);
+            for _ in 0..pre_timers {
+                now = now + Duration::from_micros(55);
+                rp.on_timer(now, TIMER_RATE, &mut a);
+            }
+            let before = rp.rate();
+            now = now + Duration::from_micros(50);
+            rp.on_cnp(now, &mut a);
+            prop_assert!(rp.rate() <= before);
+            prop_assert!(rp.rate() >= p.min_rate || rp.rate() == before);
+        }
+
+        /// Timer-driven recovery is monotone non-decreasing between CNPs.
+        #[test]
+        fn recovery_is_monotone(ticks in 1u64..200) {
+            let p = DcqcnParams::paper();
+            let mut rp = DcqcnRp::new(Bandwidth::gbps(40), p);
+            let mut a = CcActions::default();
+            rp.on_cnp(Time::ZERO, &mut a);
+            rp.on_cnp(Time::from_micros(50), &mut a);
+            let mut last = rp.rate();
+            for i in 1..=ticks {
+                rp.on_timer(Time::from_micros(100 + 55 * i), TIMER_RATE, &mut a);
+                prop_assert!(rp.rate() >= last);
+                last = rp.rate();
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 3: PFC unfairness — four senders (H1–H3 under T1, H4 under T4)
+//! incast into R under T4 with **no** end-to-end congestion control.
+//! H4, alone on its ingress port at T4, beats H1–H3, who share T4's two
+//! uplinks depending on the ECMP draw (the parking-lot problem).
+
+use crate::common::{banner, mmm, CcChoice, RunScale};
+use crate::scenarios::unfairness_run;
+use netsim::units::Duration;
+
+/// Runs the scenario across seeds and prints per-host min/median/max.
+pub fn run_with(cc: CcChoice, scale: RunScale) {
+    let seeds = scale.seeds(3, 9);
+    let duration = scale.dur(150, 250);
+    let warmup = Duration::from_millis(scale.pick(50, 80));
+    let (extra_dur, extra_warm) = match cc {
+        // DCQCN needs time to converge after the line-rate start.
+        CcChoice::Dcqcn(_) => (Duration::from_millis(200), Duration::from_millis(150)),
+        _ => (Duration::ZERO, Duration::ZERO),
+    };
+    let mut per_host: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for &seed in &seeds {
+        let g = unfairness_run(cc, seed, duration + extra_dur, warmup + extra_warm);
+        for (h, &v) in g.iter().enumerate() {
+            per_host[h].push(v);
+        }
+    }
+    println!("per-sender goodput across {} ECMP draws (Gbps):", seeds.len());
+    for (h, name) in ["H1", "H2", "H3", "H4"].iter().enumerate() {
+        println!("  {name}: {}", mmm(&per_host[h]));
+    }
+    let h4_min = per_host[3].iter().cloned().fold(f64::INFINITY, f64::min);
+    let others_max = per_host[..3]
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(0.0f64, f64::max);
+    match cc {
+        CcChoice::None => println!(
+            "  H4 min ({h4_min:.1}) vs H1–H3 max ({others_max:.1}) — paper: H4's min exceeds the others' max"
+        ),
+        _ => {
+            let all: Vec<f64> = per_host.iter().flatten().copied().collect();
+            let spread = all.iter().cloned().fold(0.0f64, f64::max)
+                - all.iter().cloned().fold(f64::INFINITY, f64::min);
+            println!("  spread across all hosts/draws: {spread:.2} Gbps — paper: equal shares, little variance");
+        }
+    }
+}
+
+/// Runs the experiment.
+pub fn run(quick: bool) {
+    banner("fig3", "PFC unfairness (no congestion control)");
+    run_with(CcChoice::None, RunScale { quick });
+}

@@ -1,0 +1,33 @@
+//! Figure 4: the victim-flow problem — a flow (VS→VR) whose path shares
+//! no link with the incast bottleneck still collapses, because PAUSEs
+//! cascade from T4 up through the spines and down to T1's uplinks.
+
+use crate::common::{banner, mmm, CcChoice, RunScale};
+use crate::scenarios::victim_run;
+use netsim::units::Duration;
+
+/// Runs the scenario and prints the victim's median goodput per
+/// T3-sender count.
+pub fn run_with(cc: CcChoice, scale: RunScale) {
+    let seeds = scale.seeds(3, 15);
+    let duration = scale.dur(150, 250);
+    let warmup = Duration::from_millis(scale.pick(50, 80));
+    let (extra_dur, extra_warm) = match cc {
+        CcChoice::Dcqcn(_) => (Duration::from_millis(200), Duration::from_millis(150)),
+        _ => (Duration::ZERO, Duration::ZERO),
+    };
+    println!("victim (VS→VR) goodput vs number of senders under T3 (Gbps):");
+    for t3 in [0usize, 1, 2] {
+        let g: Vec<f64> = seeds
+            .iter()
+            .map(|&s| victim_run(cc, t3, s, duration + extra_dur, warmup + extra_warm))
+            .collect();
+        println!("  {t3} senders under T3: {}", mmm(&g));
+    }
+}
+
+/// Runs the experiment.
+pub fn run(quick: bool) {
+    banner("fig4", "victim flow (no congestion control)");
+    run_with(CcChoice::None, RunScale { quick });
+}

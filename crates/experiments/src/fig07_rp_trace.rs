@@ -1,0 +1,40 @@
+//! Figure 7: the RP state machine — a deterministic trace through rate
+//! cut, fast recovery, and additive increase.
+
+use crate::common::banner;
+use dcqcn::params::DcqcnParams;
+use dcqcn::rp::{DcqcnRp, TIMER_RATE};
+use netsim::cc::{CcActions, CongestionControl};
+use netsim::units::{Bandwidth, Time};
+
+/// Runs the experiment.
+pub fn run(_quick: bool) {
+    banner("fig7", "RP state machine trace (cut -> fast recovery -> additive increase)");
+    let params = DcqcnParams::paper();
+    let mut rp = DcqcnRp::new(Bandwidth::gbps(40), params);
+    let mut a = CcActions::default();
+    println!("{:>6} | {:>10} | {:>10} | {:>8} | phase", "event", "R_C Gbps", "R_T Gbps", "alpha");
+    let row = |ev: &str, rp: &DcqcnRp, phase: &str| {
+        println!(
+            "{:>6} | {:>10.3} | {:>10.3} | {:>8.4} | {phase}",
+            ev,
+            rp.rate().as_gbps_f64(),
+            rp.target_rate().as_gbps_f64(),
+            rp.alpha()
+        );
+    };
+    row("start", &rp, "line rate, limiter free");
+    rp.on_cnp(Time::ZERO, &mut a);
+    row("CNP", &rp, "cut: R_T=R_C_old, R_C*=(1-alpha/2)");
+    rp.on_cnp(Time::from_micros(50), &mut a);
+    row("CNP", &rp, "second cut");
+    for i in 1..=10u64 {
+        rp.on_timer(Time::from_micros(100 + 55 * i), TIMER_RATE, &mut a);
+        let phase = if i < 5 {
+            "fast recovery (halve gap to R_T)"
+        } else {
+            "additive increase (R_T += 40 Mbps)"
+        };
+        row(&format!("T#{i}"), &rp, phase);
+    }
+}

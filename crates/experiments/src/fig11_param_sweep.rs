@@ -1,0 +1,66 @@
+//! Figure 11: fluid-model parameter sweeps for convergence — byte
+//! counter, rate-increase timer, K_max, and P_max. The z-axis of the
+//! paper's surfaces is the two-flow throughput difference over time;
+//! lower is better.
+
+use crate::common::banner;
+use fluid::sweep::{sweep_byte_counter, sweep_kmax, sweep_pmax, sweep_timer, SweepPoint};
+
+fn print_points(title: &str, unit: &str, pts: &[SweepPoint]) {
+    println!("{title}:");
+    println!(
+        "{:>10} | {:>8} {:>8} {:>8} {:>8} | {:>10}",
+        unit, "d@50ms", "d@100ms", "d@150ms", "d@200ms", "tail diff"
+    );
+    for p in pts {
+        let at = |t: f64| -> f64 {
+            match p.times.iter().position(|&x| x >= t) {
+                Some(i) => p.diff_gbps[i],
+                None => *p.diff_gbps.last().unwrap_or(&0.0),
+            }
+        };
+        println!(
+            "{:>10} | {:>8.1} {:>8.1} {:>8.1} {:>8.1} | {:>10.2}",
+            p.value,
+            at(0.05),
+            at(0.10),
+            at(0.15),
+            at(0.20),
+            p.tail_diff_gbps
+        );
+    }
+    println!();
+}
+
+/// Runs the experiment.
+pub fn run(quick: bool) {
+    banner("fig11", "parameter sweeps for convergence (fluid model, |R1-R2| in Gbps)");
+    let horizon = if quick { 0.2 } else { 0.3 };
+    let bc: &[u64] = if quick { &[150, 10_000] } else { &[150, 500, 1_500, 5_000, 10_000] };
+    let timer: &[u64] = if quick { &[55, 1_500] } else { &[55, 150, 300, 500, 1_500] };
+    let kmax: &[u64] = if quick { &[40, 200] } else { &[40, 80, 200, 400, 1_000] };
+    let pmax: &[f64] = if quick { &[1.0, 0.01] } else { &[1.0, 0.5, 0.2, 0.1, 0.01] };
+
+    print_points(
+        "(a) byte counter sweep, strawman parameters (KB)",
+        "B (KB)",
+        &sweep_byte_counter(bc, horizon),
+    );
+    print_points(
+        "(b) timer sweep with 10 MB byte counter (µs)",
+        "T (µs)",
+        &sweep_timer(timer, horizon),
+    );
+    print_points(
+        "(c) K_max sweep, strawman parameters (KB)",
+        "Kmax(KB)",
+        &sweep_kmax(kmax, horizon),
+    );
+    print_points(
+        "(d) P_max sweep with K_max = 200 KB",
+        "Pmax",
+        &sweep_pmax(pmax, horizon),
+    );
+    println!("paper's conclusions: slow byte counter helps but is sluggish; fast timer");
+    println!("converges best; RED-like marking (small P_max) fixes the strawman too.");
+}

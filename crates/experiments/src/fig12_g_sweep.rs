@@ -1,0 +1,47 @@
+//! Figure 12: choosing g — queue length and stability under 2:1 and 16:1
+//! incast for different α-gains (fluid model).
+
+use crate::common::banner;
+use fluid::sweep::{g_queue_trace, queue_stats};
+
+/// Runs the experiment.
+pub fn run(quick: bool) {
+    banner("fig12", "g sweep: queue length/stability, 2:1 and 16:1 incast (fluid)");
+    let horizon = if quick { 0.25 } else { 0.5 };
+    let gs: &[(f64, &str)] = if quick {
+        &[(1.0 / 16.0, "1/16"), (1.0 / 256.0, "1/256")]
+    } else {
+        &[
+            (1.0 / 16.0, "1/16"),
+            (1.0 / 64.0, "1/64"),
+            (1.0 / 256.0, "1/256"),
+            (1.0 / 1024.0, "1/1024"),
+        ]
+    };
+    println!(
+        "{:>8} | {:>22} | {:>22} {:>8}",
+        "g", "2:1 queue KB (mean±sd)", "16:1 queue KB (mean±sd)", "16:1 max"
+    );
+    for &(g, label) in gs {
+        let t2 = g_queue_trace(g, 2, horizon);
+        let t16 = g_queue_trace(g, 16, horizon);
+        let (m2, s2) = queue_stats(&t2, horizon / 2.0);
+        let (m16, s16) = queue_stats(&t16, horizon / 2.0);
+        let max16 = t16
+            .times
+            .iter()
+            .zip(&t16.queue_kb)
+            .filter(|(t, _)| **t >= horizon / 2.0)
+            .map(|(_, q)| *q)
+            .fold(0.0f64, f64::max);
+        println!(
+            "{label:>8} | {:>13.1} ± {:>6.1} | {:>13.1} ± {:>6.1} {:>8.1}",
+            m2, s2, m16, s16, max16
+        );
+    }
+    println!("paper: smaller g -> lower queue and lower oscillation, at slightly");
+    println!("slower convergence; g = 1/256 deployed. In our reading of the");
+    println!("equations 2:1 is rock-stable for every g, while 16:1 rides the");
+    println!("K_max cliff for every g (the fixed point wants p* > P_max) with a");
+    println!("slightly lower peak for smaller g — see EXPERIMENTS.md.");
+}

@@ -1,0 +1,63 @@
+//! Figure 20: the multi-bottleneck (parking lot) scenario — flow f2
+//! crosses two bottlenecks and gets starved by cut-off marking (it is
+//! twice as likely to be marked); RED-like marking mitigates this.
+
+use crate::common::{banner, CcChoice};
+use dcqcn::params::{red_deployed, DcqcnParams};
+use netsim::ecn::RedConfig;
+use netsim::packet::DATA_PRIORITY;
+use netsim::stats::SamplerConfig;
+use netsim::topology::{parking_lot, LinkParams};
+use netsim::units::{Duration, Time};
+
+/// Runs the three-flow parking lot under one marking scheme; returns
+/// (f1, f2, f3) goodputs in Gbps.
+fn run_one(red: RedConfig, duration: Duration, seed: u64) -> [f64; 3] {
+    let cc = CcChoice::Dcqcn(DcqcnParams::paper());
+    let mut sw = cc.switch_config(true, false);
+    sw.red = red;
+    let pl = parking_lot(LinkParams::default(), cc.host_config(), sw, seed);
+    let mut net = pl.net;
+    let f = cc.factory();
+    let f1 = net.add_flow(pl.h1, pl.r1, DATA_PRIORITY, &f);
+    let f2 = net.add_flow(pl.h2, pl.r2, DATA_PRIORITY, &f);
+    let f3 = net.add_flow(pl.h3, pl.r2, DATA_PRIORITY, &f);
+    for fl in [f1, f2, f3] {
+        net.send_message(fl, u64::MAX, Time::ZERO);
+    }
+    net.enable_sampling(
+        Duration::from_micros(500),
+        SamplerConfig {
+            all_flows: true,
+            ..SamplerConfig::default()
+        },
+    );
+    let end = Time::ZERO + duration;
+    net.run_until(end);
+    let from = Time::ZERO + duration / 2;
+    [f1, f2, f3].map(|fl| net.goodput_gbps(fl, from, end))
+}
+
+/// Runs the experiment.
+pub fn run(quick: bool) {
+    banner("fig20", "multi-bottleneck parking lot: cut-off vs RED-like marking");
+    let duration = Duration::from_millis(if quick { 300 } else { 700 });
+    println!("f1: one bottleneck (SW1->SW2); f2: BOTH; f3: one (SW2->R2).");
+    println!("max-min fair share: 20 Gbps each.");
+    println!(
+        "{:<22} | {:>8} {:>8} {:>8}",
+        "marking", "f1 Gbps", "f2 Gbps", "f3 Gbps"
+    );
+    let cutoff = RedConfig::cutoff(40_000);
+    let mut f2_rates = Vec::new();
+    for (label, red) in [("cut-off (Kmin=Kmax)", cutoff), ("RED-like (deployed)", red_deployed())] {
+        let [g1, g2, g3] = run_one(red, duration, 17);
+        println!("{label:<22} | {g1:>8.2} {g2:>8.2} {g3:>8.2}");
+        f2_rates.push(g2);
+    }
+    println!(
+        "f2 with RED-like marking: {:.2} Gbps vs {:.2} with cut-off — paper:",
+        f2_rates[1], f2_rates[0]
+    );
+    println!("RED-like marking mitigates (not fully solves) the two-bottleneck penalty.");
+}

@@ -1,0 +1,46 @@
+//! `repro` — regenerate every table and figure of the DCQCN paper.
+//!
+//! ```text
+//! repro all [--quick]     run every experiment
+//! repro fig16 [--quick]   run one experiment
+//! repro list              list experiment ids
+//! ```
+
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.as_str())
+        .collect();
+
+    match ids.first().copied() {
+        None | Some("help") => {
+            eprintln!("usage: repro <id>|all|list [--quick]");
+            eprintln!("ids: {}", experiments::ALL.join(" "));
+        }
+        Some("list") => {
+            for id in experiments::ALL {
+                println!("{id}");
+            }
+        }
+        Some("all") => {
+            let t0 = Instant::now();
+            for id in experiments::ALL {
+                let t = Instant::now();
+                experiments::dispatch(id, quick);
+                eprintln!("[{id} took {:.1}s]", t.elapsed().as_secs_f64());
+            }
+            eprintln!("[total {:.1}s]", t0.elapsed().as_secs_f64());
+        }
+        Some(id) => {
+            if !experiments::dispatch(id, quick) {
+                eprintln!("unknown experiment '{id}'; try: {}", experiments::ALL.join(" "));
+                std::process::exit(1);
+            }
+        }
+    }
+}

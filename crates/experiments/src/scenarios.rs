@@ -1,0 +1,225 @@
+//! Reusable testbed scenarios: the §2.2 unfairness and victim-flow setups
+//! on the Figure 2 Clos, and the §6.2 benchmark-traffic runs.
+
+use crate::common::CcChoice;
+use netsim::event::NodeId;
+use netsim::packet::{FlowId, DATA_PRIORITY};
+use netsim::stats::SamplerConfig;
+use netsim::topology::{clos_testbed, ClosTestbed, LinkParams};
+use netsim::units::{Duration, Time};
+use workloads::traffic::{
+    flow_goodputs, setup_incast, setup_user_traffic, transfer_goodputs, UserTrafficConfig,
+};
+
+/// Builds the Figure 2 testbed configured for a CC scheme.
+pub fn testbed(cc: CcChoice, pfc: bool, misconfigured: bool, hosts_per_tor: usize, seed: u64) -> ClosTestbed {
+    clos_testbed(
+        hosts_per_tor,
+        LinkParams::default(),
+        cc.host_config(),
+        cc.switch_config(pfc, misconfigured),
+        seed,
+    )
+}
+
+/// The Figure 3/8 unfairness scenario: H1–H3 under T1 and H4 under T4 all
+/// send greedily to R under T4. Returns per-host goodput (Gbps) measured
+/// over `[warmup, duration]`.
+pub fn unfairness_run(cc: CcChoice, seed: u64, duration: Duration, warmup: Duration) -> Vec<f64> {
+    let mut tb = testbed(cc, true, false, 5, seed);
+    let senders = [
+        tb.hosts[0][0],
+        tb.hosts[0][1],
+        tb.hosts[0][2],
+        tb.hosts[3][0],
+    ];
+    let receiver = tb.hosts[3][1];
+    let f = cc.factory();
+    let flows: Vec<FlowId> = senders
+        .iter()
+        .map(|&h| tb.net.add_flow(h, receiver, DATA_PRIORITY, &f))
+        .collect();
+    for &fl in &flows {
+        tb.net.send_message(fl, u64::MAX, Time::ZERO);
+    }
+    tb.net.enable_sampling(
+        Duration::from_micros(500),
+        SamplerConfig {
+            all_flows: true,
+            ..SamplerConfig::default()
+        },
+    );
+    let end = Time::ZERO + duration;
+    tb.net.run_until(end);
+    flows
+        .iter()
+        .map(|&fl| tb.net.goodput_gbps(fl, Time::ZERO + warmup, end))
+        .collect()
+}
+
+/// The Figure 4/9 victim-flow scenario: H11–H14 (under T1) plus
+/// `t3_senders` hosts under T3 send greedily to R under T4, while the
+/// victim VS (under T1) sends to VR (under T2). Returns the victim's
+/// goodput in Gbps.
+pub fn victim_run(
+    cc: CcChoice,
+    t3_senders: usize,
+    seed: u64,
+    duration: Duration,
+    warmup: Duration,
+) -> f64 {
+    let mut tb = testbed(cc, true, false, 5, seed);
+    let receiver = tb.hosts[3][0];
+    let vs = tb.hosts[0][4];
+    let vr = tb.hosts[1][0];
+    let f = cc.factory();
+    let mut flows: Vec<FlowId> = Vec::new();
+    for i in 0..4 {
+        flows.push(tb.net.add_flow(tb.hosts[0][i], receiver, DATA_PRIORITY, &f));
+    }
+    for i in 0..t3_senders {
+        flows.push(tb.net.add_flow(tb.hosts[2][i], receiver, DATA_PRIORITY, &f));
+    }
+    let victim = tb.net.add_flow(vs, vr, DATA_PRIORITY, &f);
+    flows.push(victim);
+    for &fl in &flows {
+        tb.net.send_message(fl, u64::MAX, Time::ZERO);
+    }
+    tb.net.enable_sampling(
+        Duration::from_micros(500),
+        SamplerConfig {
+            all_flows: true,
+            ..SamplerConfig::default()
+        },
+    );
+    let end = Time::ZERO + duration;
+    tb.net.run_until(end);
+    tb.net.goodput_gbps(victim, Time::ZERO + warmup, end)
+}
+
+/// Configuration of a §6.2 benchmark run.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchmarkConfig {
+    /// Congestion control scheme.
+    pub cc: CcChoice,
+    /// Communicating user pairs.
+    pub pairs: usize,
+    /// Incast (disk-rebuild) degree; 0 disables the incast.
+    pub incast_degree: usize,
+    /// Run length.
+    pub duration: Duration,
+    /// PFC enabled?
+    pub pfc: bool,
+    /// Misconfigured buffer thresholds (§6.2)?
+    pub misconfigured: bool,
+    /// NAK-capable receivers (disable to model timeout-only ConnectX-3
+    /// recovery).
+    pub nack_enabled: bool,
+    /// Seed for topology randomness and workload draws.
+    pub seed: u64,
+}
+
+/// Results of a benchmark run.
+#[derive(Debug, Clone)]
+pub struct BenchmarkResult {
+    /// Goodput (Gbps) of each completed user transfer ≥ 1 MB.
+    pub user_goodputs: Vec<f64>,
+    /// Average goodput (Gbps) of each incast flow over the measurement
+    /// window.
+    pub incast_goodputs: Vec<f64>,
+    /// PAUSE frames received at the two spines.
+    pub spine_pause_rx: u64,
+    /// Total packet drops across all switches.
+    pub drops: u64,
+    /// Total retransmitted packets.
+    pub retx: u64,
+    /// Total retransmission timeouts.
+    pub timeouts: u64,
+    /// Flows torn down after exhausting the transport retry budget.
+    pub aborted: u64,
+    /// Total events executed (cost accounting).
+    pub events: u64,
+}
+
+/// Runs the §6.2 benchmark: 20 hosts (5 per rack), `pairs` user pairs
+/// with trace-like transfer sizes, plus one disk-rebuild incast.
+pub fn benchmark_run(cfg: &BenchmarkConfig) -> BenchmarkResult {
+    let mut tb = {
+        let mut host_cfg = cfg.cc.host_config();
+        host_cfg.nack_enabled = cfg.nack_enabled;
+        clos_testbed(
+            5,
+            LinkParams::default(),
+            host_cfg,
+            cfg.cc.switch_config(cfg.pfc, cfg.misconfigured),
+            cfg.seed,
+        )
+    };
+    let hosts: Vec<NodeId> = tb.hosts.iter().flatten().copied().collect();
+    let f = cfg.cc.factory();
+
+    let user_cfg = UserTrafficConfig {
+        mean_interarrival: Duration::from_micros(4000),
+        ..UserTrafficConfig::benchmark(cfg.pairs, cfg.duration)
+    };
+    let pairs = setup_user_traffic(&mut tb.net, &hosts, &user_cfg, &f, cfg.seed ^ 0xA5A5);
+
+    let incast_flows = if cfg.incast_degree > 0 {
+        let target = workloads::traffic::pick_one(&hosts, cfg.seed ^ 0x1111);
+        // Enough bytes that the rebuild outlasts the run.
+        let bytes = (cfg.duration.as_secs_f64() * 40e9 / 8.0) as u64;
+        setup_incast(
+            &mut tb.net,
+            &hosts,
+            target,
+            cfg.incast_degree,
+            bytes,
+            Time::ZERO,
+            DATA_PRIORITY,
+            &f,
+            cfg.seed ^ 0x2222,
+        )
+    } else {
+        Vec::new()
+    };
+
+    tb.net.enable_sampling(
+        Duration::from_micros(1000),
+        SamplerConfig {
+            all_flows: true,
+            ..SamplerConfig::default()
+        },
+    );
+    let end = Time::ZERO + cfg.duration;
+    tb.net.run_until(end);
+
+    let user_flows: Vec<FlowId> = pairs.iter().map(|p| p.flow).collect();
+    let warmup = Time::ZERO + cfg.duration / 5;
+    let mut drops = 0;
+    let mut pause_rx_spines = 0;
+    for &s in tb.tors.iter().chain(&tb.leaves).chain(&tb.spines) {
+        let st = tb.net.switch_stats(s);
+        drops += st.drops_pool + st.drops_lossy;
+    }
+    for &s in &tb.spines {
+        pause_rx_spines += tb.net.switch_stats(s).pause_rx;
+    }
+    let (mut retx, mut timeouts, mut aborted) = (0, 0, 0);
+    for fl in user_flows.iter().chain(&incast_flows) {
+        let st = tb.net.flow_stats(*fl);
+        retx += st.retx_pkts;
+        timeouts += st.timeouts;
+        aborted += st.aborted as u64;
+    }
+
+    BenchmarkResult {
+        user_goodputs: transfer_goodputs(&tb.net, &user_flows, 1_000_000),
+        incast_goodputs: flow_goodputs(&tb.net, &incast_flows, warmup, end),
+        spine_pause_rx: pause_rx_spines,
+        drops,
+        retx,
+        timeouts,
+        aborted,
+        events: tb.net.events_executed(),
+    }
+}

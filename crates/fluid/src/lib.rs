@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # fluid — the paper's fluid model of DCQCN (§5)
+//!
+//! A delay-differential-equation model of N DCQCN flows sharing one
+//! bottleneck, used exactly as the paper uses it: to pick protocol
+//! parameters (byte counter, timer, K_max, P_max, g) before touching
+//! the packet simulator.
+//!
+//! * [`params`] — Table 2 constants, derived from protocol parameters,
+//! * [`model`] — Equations 5–9 (+ the per-flow extension, Eq. 11),
+//!   integrated by explicit Euler with a delayed-term history buffer,
+//! * [`fixedpoint`] — the unique fixed point (Eq. 10) via bisection,
+//! * [`sweep`] — the Figure 11/12 parameter sweeps,
+//! * [`stability`] — perturbation-based stability probing around the
+//!   fixed point (the paper's stated future work).
+
+pub mod fixedpoint;
+pub mod model;
+pub mod params;
+pub mod stability;
+pub mod sweep;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::fixedpoint::{solve, FixedPoint};
+    pub use crate::model::{FlowState, FluidSim, FluidTrace};
+    pub use crate::params::FluidParams;
+    pub use crate::stability::{probe, stability_map, StabilityReport, Verdict};
+    pub use crate::sweep::{
+        g_queue_trace, queue_stats, sweep_byte_counter, sweep_kmax, sweep_pmax, sweep_timer,
+        two_flow_convergence, SweepPoint,
+    };
+}

@@ -1,0 +1,159 @@
+//! Fluid-model parameters (Table 2 of the paper), derived from the
+//! protocol parameters plus the bottleneck description.
+//!
+//! The model works in **packets**: rates in packets/second, queue in
+//! packets, the byte counter converted to packets. `p` is the per-packet
+//! marking probability of Equation 5.
+
+use dcqcn::params::DcqcnParams;
+use netsim::ecn::RedConfig;
+use netsim::units::Bandwidth;
+
+/// All constants of the fluid model (Table 2).
+#[derive(Debug, Clone, Copy)]
+pub struct FluidParams {
+    /// α gain `g`.
+    pub g: f64,
+    /// Control-loop delay `τ*` in seconds (RTT + CNP generation interval;
+    /// the paper uses the 50 µs CNP interval as the maximum).
+    pub tau_delay: f64,
+    /// CNP pacing window in seconds (equals `tau_delay` in the paper's
+    /// simplification — the exponent windows of Eqs 7–9).
+    pub tau_cnp: f64,
+    /// α-update interval `τ'` in seconds (55 µs).
+    pub tau_alpha: f64,
+    /// Rate-increase timer `T` in seconds.
+    pub timer: f64,
+    /// Byte counter `B` in packets.
+    pub byte_counter_pkts: f64,
+    /// Fast-recovery steps `F`.
+    pub f_steps: f64,
+    /// Additive-increase step `R_AI` in packets/second.
+    pub rai_pps: f64,
+    /// RED `K_min` in packets.
+    pub kmin_pkts: f64,
+    /// RED `K_max` in packets.
+    pub kmax_pkts: f64,
+    /// RED `P_max`.
+    pub pmax: f64,
+    /// Bottleneck capacity `C` in packets/second.
+    pub capacity_pps: f64,
+    /// Packet size in bytes (for unit conversion).
+    pub pkt_bytes: f64,
+    /// Rate floor in packets/second.
+    pub min_rate_pps: f64,
+}
+
+impl FluidParams {
+    /// Builds fluid parameters from protocol parameters, the switch RED
+    /// configuration, the bottleneck rate, and the packet (MTU) size.
+    pub fn from_protocol(
+        p: &DcqcnParams,
+        red: &RedConfig,
+        bottleneck: Bandwidth,
+        pkt_bytes: u64,
+    ) -> FluidParams {
+        let pkt = pkt_bytes as f64;
+        let capacity_pps = bottleneck.0 as f64 / 8.0 / pkt;
+        FluidParams {
+            g: p.g,
+            tau_delay: p.cnp_interval.as_secs_f64(),
+            tau_cnp: p.cnp_interval.as_secs_f64(),
+            tau_alpha: p.alpha_timer.as_secs_f64(),
+            timer: p.rate_timer.as_secs_f64(),
+            byte_counter_pkts: p.byte_counter as f64 / pkt,
+            f_steps: p.fast_recovery_steps as f64,
+            rai_pps: p.rai.0 as f64 / 8.0 / pkt,
+            kmin_pkts: red.kmin_bytes as f64 / pkt,
+            kmax_pkts: red.kmax_bytes as f64 / pkt,
+            pmax: red.pmax,
+            capacity_pps,
+            pkt_bytes: pkt,
+            min_rate_pps: p.min_rate.0 as f64 / 8.0 / pkt,
+        }
+    }
+
+    /// The deployed configuration at a 40 Gbps bottleneck with 1500 B
+    /// packets (the paper's Figure 10/12 setting).
+    pub fn paper_40g() -> FluidParams {
+        FluidParams::from_protocol(
+            &DcqcnParams::paper(),
+            &dcqcn::params::red_deployed(),
+            Bandwidth::gbps(40),
+            1500,
+        )
+    }
+
+    /// Marking probability of Equation 5, `q` in packets.
+    pub fn mark_probability(&self, q: f64) -> f64 {
+        if q <= self.kmin_pkts {
+            0.0
+        } else if q <= self.kmax_pkts {
+            if self.kmax_pkts > self.kmin_pkts {
+                self.pmax * (q - self.kmin_pkts) / (self.kmax_pkts - self.kmin_pkts)
+            } else {
+                // Cut-off marking with kmin == kmax is handled by the
+                // first branch (q <= kmin) returning 0.
+                1.0
+            }
+        } else {
+            1.0
+        }
+    }
+
+    /// Converts packets/second to Gbps.
+    pub fn pps_to_gbps(&self, pps: f64) -> f64 {
+        pps * self.pkt_bytes * 8.0 / 1e9
+    }
+
+    /// Converts a queue in packets to kilobytes (decimal).
+    pub fn pkts_to_kb(&self, pkts: f64) -> f64 {
+        pkts * self.pkt_bytes / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_conversion_constants() {
+        let f = FluidParams::paper_40g();
+        // 40 Gbps / (1500 B × 8) = 3.33 M packets/s.
+        assert!((f.capacity_pps - 40e9 / 12000.0).abs() < 1.0);
+        // B = 10 MB / 1500 B ≈ 6667 packets.
+        assert!((f.byte_counter_pkts - 6666.7).abs() < 1.0);
+        // K_min = 5 KB / 1.5 KB ≈ 3.3 packets.
+        assert!((f.kmin_pkts - 10.0 / 3.0).abs() < 0.01);
+        assert!((f.timer - 55e-6).abs() < 1e-12);
+        assert!((f.g - 1.0 / 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mark_probability_matches_red() {
+        let f = FluidParams::paper_40g();
+        assert_eq!(f.mark_probability(0.0), 0.0);
+        assert_eq!(f.mark_probability(f.kmin_pkts), 0.0);
+        assert_eq!(f.mark_probability(f.kmax_pkts + 1.0), 1.0);
+        let mid = (f.kmin_pkts + f.kmax_pkts) / 2.0;
+        assert!((f.mark_probability(mid) - f.pmax / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cutoff_marking_via_equal_thresholds() {
+        let mut f = FluidParams::paper_40g();
+        f.kmin_pkts = 100.0;
+        f.kmax_pkts = 100.0;
+        f.pmax = 1.0;
+        assert_eq!(f.mark_probability(99.0), 0.0);
+        assert_eq!(f.mark_probability(100.0), 0.0);
+        assert_eq!(f.mark_probability(100.1), 1.0);
+    }
+
+    #[test]
+    fn unit_round_trips() {
+        let f = FluidParams::paper_40g();
+        assert!((f.pps_to_gbps(f.capacity_pps) - 40.0).abs() < 1e-9);
+        assert!((f.pkts_to_kb(10.0) - 15.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,160 @@
+//! Empirical stability analysis of the DCQCN fluid model — the paper's
+//! stated future work (§5.2: "In future, we plan to analyze the stability
+//! of DCQCN following techniques in \[4\]").
+//!
+//! Rather than linearizing the delay differential equations analytically,
+//! we probe stability the way control engineers validate a linearization:
+//! initialize the system *at* its fixed point, apply a small perturbation,
+//! and classify the response by comparing the queue-error envelope early
+//! vs. late in the horizon:
+//!
+//! * decaying envelope → **stable** (perturbations die out),
+//! * roughly constant envelope → **limit cycle** (sustained oscillation),
+//! * growing envelope → **unstable**.
+
+use crate::fixedpoint::solve;
+use crate::model::{FlowState, FluidSim};
+use crate::params::FluidParams;
+
+/// Verdict of a perturbation experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Perturbations decay: the fixed point is attracting.
+    Stable,
+    /// Perturbations neither decay nor grow: sustained oscillation.
+    LimitCycle,
+    /// Perturbations grow.
+    Unstable,
+}
+
+/// Outcome of a stability probe.
+#[derive(Debug, Clone, Copy)]
+pub struct StabilityReport {
+    /// The classification.
+    pub verdict: Verdict,
+    /// Peak |q − q*| in the first third of the horizon (packets).
+    pub early_amplitude: f64,
+    /// Peak |q − q*| in the last third of the horizon (packets).
+    pub late_amplitude: f64,
+    /// The fixed-point queue the probe oscillates around (packets).
+    pub q_star: f64,
+}
+
+/// Probes the `n`-flow system's stability around its fixed point with a
+/// `perturbation` (fractional rate offset on one flow, e.g. 0.1 = +10%)
+/// over `horizon_s` seconds.
+pub fn probe(params: &FluidParams, n: usize, perturbation: f64, horizon_s: f64) -> StabilityReport {
+    let fp = solve(params, n);
+    let r = fp.rate_pps;
+    // Build the system at the fixed point: every flow at C/N with the
+    // fixed-point α and target gap; queue at q*. Negative start times
+    // suppress the line-rate (re)start logic.
+    let mut flows = vec![
+        FlowState {
+            rc: r,
+            rt: r + fp.rt_gap_pps,
+            alpha: fp.alpha,
+            start: -1.0,
+            initial_rate: r,
+        };
+        n
+    ];
+    flows[0].rc = r * (1.0 + perturbation);
+    let mut sim = FluidSim::new(*params, flows, 1e-6);
+    sim.q = fp.queue_pkts;
+    let trace = sim.run(horizon_s, horizon_s / 3000.0);
+
+    let err: Vec<(f64, f64)> = trace
+        .times
+        .iter()
+        .zip(&trace.queue_kb)
+        .map(|(t, q)| (*t, (q * 1000.0 / params.pkt_bytes - fp.queue_pkts).abs()))
+        .collect();
+    let third = horizon_s / 3.0;
+    let peak = |lo: f64, hi: f64| -> f64 {
+        err.iter()
+            .filter(|(t, _)| *t >= lo && *t < hi)
+            .map(|(_, e)| *e)
+            .fold(0.0f64, f64::max)
+    };
+    let early = peak(0.0, third);
+    let late = peak(2.0 * third, horizon_s);
+
+    // Classify. An envelope below one packet is noise: stable.
+    let verdict = if late < 1.0 || late < 0.33 * early {
+        Verdict::Stable
+    } else if late <= 2.0 * early {
+        Verdict::LimitCycle
+    } else {
+        Verdict::Unstable
+    };
+    StabilityReport {
+        verdict,
+        early_amplitude: early,
+        late_amplitude: late,
+        q_star: fp.queue_pkts,
+    }
+}
+
+/// A (g, N) stability map with the deployed RED/rate parameters —
+/// the grid the `ext-stability` experiment prints.
+pub fn stability_map(gs: &[f64], ns: &[usize], horizon_s: f64) -> Vec<(f64, usize, StabilityReport)> {
+    let mut out = Vec::new();
+    for &g in gs {
+        for &n in ns {
+            let proto = dcqcn::params::DcqcnParams::paper().with_g(g);
+            let params = FluidParams::from_protocol(
+                &proto,
+                &dcqcn::params::red_deployed(),
+                netsim::units::Bandwidth::gbps(40),
+                1500,
+            );
+            out.push((g, n, probe(&params, n, 0.1, horizon_s)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_flow_deployed_config_is_stable() {
+        // The deployed parameters at 2:1 settle to a steady queue (as the
+        // packet simulator and Figure 13(d) show).
+        let params = FluidParams::paper_40g();
+        let rep = probe(&params, 2, 0.1, 0.3);
+        assert_eq!(rep.verdict, Verdict::Stable, "{rep:?}");
+        assert!(rep.q_star > 0.0);
+    }
+
+    #[test]
+    fn deep_incast_is_a_limit_cycle() {
+        // At 16:1 the operating point rides the K_max cliff: perturbations
+        // do not die out (consistent with fig12's oscillation).
+        let params = FluidParams::paper_40g();
+        let rep = probe(&params, 16, 0.1, 0.3);
+        assert_ne!(rep.verdict, Verdict::Stable, "{rep:?}");
+        assert!(rep.late_amplitude > 1.0);
+    }
+
+    #[test]
+    fn perturbation_size_does_not_flip_the_two_flow_verdict() {
+        let params = FluidParams::paper_40g();
+        for pert in [0.02, 0.1, 0.3] {
+            let rep = probe(&params, 2, pert, 0.3);
+            assert_eq!(rep.verdict, Verdict::Stable, "pert {pert}: {rep:?}");
+        }
+    }
+
+    #[test]
+    fn map_covers_the_grid() {
+        let map = stability_map(&[1.0 / 16.0, 1.0 / 256.0], &[2, 8], 0.1);
+        assert_eq!(map.len(), 4);
+        for (g, n, rep) in &map {
+            assert!(*g > 0.0 && *n >= 2);
+            assert!(rep.early_amplitude.is_finite());
+        }
+    }
+}

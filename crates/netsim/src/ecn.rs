@@ -1,0 +1,137 @@
+//! RED/ECN marking (the paper's Figure 5 and the CP half of DCQCN).
+//!
+//! An arriving packet is marked with probability 0 below `kmin` bytes of
+//! egress queue, rising linearly to `pmax` at `kmax`, and 1 above `kmax`.
+//! Setting `kmin == kmax` with `pmax = 1` reproduces DCTCP's cut-off
+//! behaviour. Marking is on the *instantaneous* queue (as in DCTCP and the
+//! paper), not RED's EWMA.
+
+use crate::rng::SplitMix64;
+
+/// RED marking configuration for an egress queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RedConfig {
+    /// Queue depth (bytes) below which nothing is marked (`K_min`).
+    pub kmin_bytes: u64,
+    /// Queue depth (bytes) above which everything is marked (`K_max`).
+    pub kmax_bytes: u64,
+    /// Marking probability at `K_max` (`P_max`, in `[0, 1]`).
+    pub pmax: f64,
+}
+
+impl RedConfig {
+    /// DCTCP-style cut-off marking at threshold `k` bytes: mark everything
+    /// once the queue exceeds `k`.
+    pub fn cutoff(k: u64) -> RedConfig {
+        RedConfig {
+            kmin_bytes: k,
+            kmax_bytes: k,
+            pmax: 1.0,
+        }
+    }
+
+    /// Disabled marking (lossy/TCP-only fabrics without ECN).
+    pub fn disabled() -> RedConfig {
+        RedConfig {
+            kmin_bytes: u64::MAX,
+            kmax_bytes: u64::MAX,
+            pmax: 0.0,
+        }
+    }
+
+    /// Marking probability for an instantaneous queue of `q` bytes
+    /// (Equation 5 of the paper / Figure 5).
+    pub fn mark_probability(&self, q: u64) -> f64 {
+        if q <= self.kmin_bytes {
+            0.0
+        } else if q <= self.kmax_bytes {
+            // kmin < q <= kmax; kmin == kmax is impossible here because the
+            // first branch took q <= kmin.
+            self.pmax * (q - self.kmin_bytes) as f64 / (self.kmax_bytes - self.kmin_bytes) as f64
+        } else {
+            1.0
+        }
+    }
+
+    /// Samples the marking decision for a queue of `q` bytes.
+    pub fn should_mark(&self, q: u64, rng: &mut SplitMix64) -> bool {
+        rng.chance(self.mark_probability(q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::bytes::kb;
+
+    /// The paper's deployed CP parameters (Figure 14).
+    fn deployed() -> RedConfig {
+        RedConfig {
+            kmin_bytes: kb(5),
+            kmax_bytes: kb(200),
+            pmax: 0.01,
+        }
+    }
+
+    #[test]
+    fn zero_below_kmin() {
+        let c = deployed();
+        assert_eq!(c.mark_probability(0), 0.0);
+        assert_eq!(c.mark_probability(kb(5)), 0.0);
+    }
+
+    #[test]
+    fn one_above_kmax() {
+        let c = deployed();
+        assert_eq!(c.mark_probability(kb(200) + 1), 1.0);
+        assert_eq!(c.mark_probability(u64::MAX), 1.0);
+    }
+
+    #[test]
+    fn linear_in_between() {
+        let c = deployed();
+        // Midpoint of [5KB, 200KB] should give pmax/2.
+        let mid = (kb(5) + kb(200)) / 2;
+        let p = c.mark_probability(mid);
+        assert!((p - 0.005).abs() < 1e-9, "p = {p}");
+        // Quarter point.
+        let quarter = kb(5) + (kb(200) - kb(5)) / 4;
+        assert!((c.mark_probability(quarter) - 0.0025).abs() < 1e-4);
+    }
+
+    #[test]
+    fn probability_is_monotone() {
+        let c = deployed();
+        let mut last = -1.0;
+        for q in (0..kb(250)).step_by(1024) {
+            let p = c.mark_probability(q);
+            assert!(p >= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn cutoff_reproduces_dctcp() {
+        let c = RedConfig::cutoff(kb(40));
+        assert_eq!(c.mark_probability(kb(40)), 0.0);
+        assert_eq!(c.mark_probability(kb(40) + 1), 1.0);
+    }
+
+    #[test]
+    fn disabled_never_marks() {
+        let c = RedConfig::disabled();
+        let mut rng = SplitMix64::new(1);
+        assert!(!c.should_mark(u64::MAX - 1, &mut rng));
+    }
+
+    #[test]
+    fn sampling_matches_probability() {
+        let c = deployed();
+        let mut rng = SplitMix64::new(9);
+        let q = kb(200); // p = pmax = 1%
+        let n = 100_000;
+        let marks = (0..n).filter(|_| c.should_mark(q, &mut rng)).count();
+        let rate = marks as f64 / n as f64;
+        assert!((rate - 0.01).abs() < 0.002, "rate {rate}");
+    }
+}

@@ -1,0 +1,255 @@
+//! The discrete-event core: a deterministic priority queue of timestamped
+//! events.
+//!
+//! Events at the same timestamp are executed in insertion order (a
+//! monotonically increasing sequence number breaks ties), so a run is a pure
+//! function of the network configuration and the RNG seed.
+
+use crate::packet::Packet;
+use crate::units::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Index of a node (host or switch) in the network's node table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// Index of a port within a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub usize);
+
+/// Index of a link in the network's link table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(pub usize);
+
+/// Kinds of timers a host can arm. The payload disambiguates per-flow timers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerKind {
+    /// A congestion-control timer; `id` is interpreted by the CC algorithm.
+    Cc {
+        /// Local flow index on the host.
+        flow: usize,
+        /// Algorithm-defined timer id.
+        id: u32,
+    },
+    /// Go-back-N retransmission timeout for a flow.
+    Retransmit {
+        /// Local flow index on the host.
+        flow: usize,
+    },
+    /// The NIC asked to be woken when the earliest flow becomes eligible.
+    NicWakeup,
+    /// A new message is injected into a flow's send queue (workload arrival).
+    MessageArrival {
+        /// Local flow index on the host.
+        flow: usize,
+        /// Message size in bytes.
+        bytes: u64,
+    },
+    /// Reset an idle flow's congestion state back to line rate.
+    IdleReset {
+        /// Local flow index on the host.
+        flow: usize,
+    },
+}
+
+/// A simulation event.
+#[derive(Debug)]
+pub enum Event {
+    /// `pkt` finishes arriving at `node` (entering through `port`).
+    Deliver {
+        /// Receiving node.
+        node: NodeId,
+        /// Ingress port on that node.
+        port: PortId,
+        /// The arriving packet.
+        pkt: Packet,
+    },
+    /// `node`'s transmitter on `port` finished serializing a packet.
+    TxDone {
+        /// Transmitting node.
+        node: NodeId,
+        /// The port whose transmitter became free.
+        port: PortId,
+    },
+    /// A host timer fires.
+    Timer {
+        /// The host owning the timer.
+        node: NodeId,
+        /// Which timer.
+        kind: TimerKind,
+    },
+    /// Periodic statistics sampling tick.
+    Sample,
+    /// A user-registered control hook (used by experiments to start flows or
+    /// change configuration mid-run). The id indexes the network's hook table.
+    Hook {
+        /// Index into the network's hook table.
+        id: usize,
+    },
+}
+
+struct Scheduled {
+    at: Time,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Deterministic event queue. Pops events in `(time, insertion order)` order.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+    now: Time,
+    popped: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// The current simulation time (time of the last popped event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of events currently pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past: the simulator never time-travels.
+    pub fn schedule(&mut self, at: Time, event: Event) {
+        assert!(
+            at >= self.now,
+            "scheduled event at {at} before current time {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, Event)> {
+        let Reverse(s) = self.heap.pop()?;
+        debug_assert!(s.at >= self.now);
+        self.now = s.at;
+        self.popped += 1;
+        Some((s.at, s.event))
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Duration;
+
+    fn hook(id: usize) -> Event {
+        Event::Hook { id }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_micros(3), hook(3));
+        q.schedule(Time::from_micros(1), hook(1));
+        q.schedule(Time::from_micros(2), hook(2));
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Hook { id } => id,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Time::from_micros(7);
+        for id in 0..100 {
+            q.schedule(t, hook(id));
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Hook { id } => id,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_micros(5), hook(0));
+        q.schedule(Time::from_micros(5), hook(1));
+        q.schedule(Time::from_micros(9), hook(2));
+        let mut last = Time::ZERO;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            assert_eq!(q.now(), t);
+        }
+        assert_eq!(last, Time::from_micros(9));
+        assert_eq!(q.events_executed(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_micros(5), hook(0));
+        q.pop();
+        q.schedule(Time::from_micros(1), hook(1));
+    }
+
+    #[test]
+    fn schedule_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_micros(5), hook(0));
+        q.pop();
+        q.schedule(q.now(), hook(1));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, Time::from_micros(5));
+        assert_eq!(t + Duration::ZERO, t);
+    }
+}

@@ -1,0 +1,522 @@
+//! The network: nodes, links, the event loop, and the experiment-facing
+//! API (build a topology, add flows, inject messages, run, read stats).
+
+use crate::cc::CongestionControl;
+use crate::event::{Event, EventQueue, LinkId, NodeId, PortId, TimerKind};
+use crate::host::{Host, HostConfig};
+use crate::packet::{FlowId, Priority};
+use crate::port::Attachment;
+use crate::routing::{compute_routes, Edge};
+use crate::rng::SplitMix64;
+use crate::stats::{FlowStats, SampledSeries, SamplerConfig, SwitchStats};
+use crate::switch::{Switch, SwitchConfig};
+use crate::trace::Tracer;
+use crate::units::{Bandwidth, Duration, Time};
+use std::collections::HashMap;
+
+/// A node is either a switch or a host.
+pub enum Node {
+    /// A shared-buffer switch.
+    Switch(Switch),
+    /// An end host with one NIC.
+    Host(Host),
+}
+
+/// Mutable context threaded through node callbacks: the event queue, the
+/// simulator RNG, and global per-flow statistics. Kept separate from the
+/// node table so node methods can borrow both.
+pub struct Ctx {
+    /// The event queue (also the clock).
+    pub queue: EventQueue,
+    /// Simulator-internal randomness (RED sampling).
+    pub rng: SplitMix64,
+    /// Per-run ECMP hash salt.
+    pub ecmp_salt: u64,
+    /// Per-flow counters.
+    pub flow_stats: HashMap<FlowId, FlowStats>,
+    /// Packet-level event tracer (disabled unless enabled on the network).
+    pub tracer: Tracer,
+}
+
+impl Ctx {
+    /// Mutable access to a flow's counters (created on first touch).
+    pub fn stats(&mut self, id: FlowId) -> &mut FlowStats {
+        self.flow_stats.entry(id).or_default()
+    }
+}
+
+/// One-shot mutation executed at a scheduled time (start flows, flip
+/// configuration mid-run).
+pub type Hook = Box<dyn FnMut(&mut Network)>;
+
+/// Declarative network construction.
+pub struct NetworkBuilder {
+    seed: u64,
+    nodes: Vec<NodeSpec>,
+    links: Vec<(NodeId, NodeId, Bandwidth, Duration)>,
+}
+
+enum NodeSpec {
+    Host(HostConfig),
+    Switch(SwitchConfig),
+}
+
+impl NetworkBuilder {
+    /// Starts a build; `seed` fixes all simulator randomness (RED sampling
+    /// and the ECMP salt).
+    pub fn new(seed: u64) -> NetworkBuilder {
+        NetworkBuilder {
+            seed,
+            nodes: Vec::new(),
+            links: Vec::new(),
+        }
+    }
+
+    /// Adds a host.
+    pub fn host(&mut self, config: HostConfig) -> NodeId {
+        self.nodes.push(NodeSpec::Host(config));
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a switch (port count is inferred from its links).
+    pub fn switch(&mut self, config: SwitchConfig) -> NodeId {
+        self.nodes.push(NodeSpec::Switch(config));
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Connects two nodes with a full-duplex link.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, bandwidth: Bandwidth, delay: Duration) {
+        self.links.push((a, b, bandwidth, delay));
+    }
+
+    /// Materializes the network: allocates ports, attaches links, computes
+    /// shortest-path ECMP routes toward every host.
+    pub fn build(self) -> Network {
+        let n = self.nodes.len();
+        // Assign port indices per node in link-declaration order.
+        let mut port_count = vec![0usize; n];
+        let mut edges: Vec<Edge> = Vec::with_capacity(self.links.len());
+        let mut attach: Vec<(NodeId, usize, Attachment)> = Vec::new();
+        for (li, &(a, b, bw, delay)) in self.links.iter().enumerate() {
+            let pa = PortId(port_count[a.0]);
+            let pb = PortId(port_count[b.0]);
+            port_count[a.0] += 1;
+            port_count[b.0] += 1;
+            edges.push((a, pa, b, pb));
+            attach.push((
+                a,
+                pa.0,
+                Attachment {
+                    link: LinkId(li),
+                    peer: b,
+                    peer_port: pb,
+                    bandwidth: bw,
+                    delay,
+                },
+            ));
+            attach.push((
+                b,
+                pb.0,
+                Attachment {
+                    link: LinkId(li),
+                    peer: a,
+                    peer_port: pa,
+                    bandwidth: bw,
+                    delay,
+                },
+            ));
+        }
+
+        let mut nodes: Vec<Node> = self
+            .nodes
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| match spec {
+                NodeSpec::Host(cfg) => {
+                    assert!(
+                        port_count[i] <= 1,
+                        "host {i} has {} links; hosts have one NIC",
+                        port_count[i]
+                    );
+                    Node::Host(Host::new(NodeId(i), cfg))
+                }
+                NodeSpec::Switch(cfg) => Node::Switch(Switch::new(NodeId(i), port_count[i], cfg)),
+            })
+            .collect();
+
+        for (node, port, att) in attach {
+            match &mut nodes[node.0] {
+                Node::Host(h) => h.port.attach = Some(att),
+                Node::Switch(s) => s.ports[port].attach = Some(att),
+            }
+        }
+
+        // Routes toward every host.
+        let dests: Vec<NodeId> = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n, Node::Host(_)))
+            .map(|(i, _)| NodeId(i))
+            .collect();
+        let tables = compute_routes(n, &edges, &dests);
+        for (i, table) in tables.into_iter().enumerate() {
+            if let Node::Switch(s) = &mut nodes[i] {
+                s.routes = table;
+            }
+        }
+
+        let mut rng = SplitMix64::new(self.seed);
+        let ecmp_salt = rng.next_u64();
+        Network {
+            nodes,
+            ctx: Ctx {
+                queue: EventQueue::new(),
+                rng,
+                ecmp_salt,
+                flow_stats: HashMap::new(),
+                tracer: Tracer::disabled(),
+            },
+            flow_locator: HashMap::new(),
+            next_flow_id: 0,
+            sampler: SamplerConfig::default(),
+            sample_interval: None,
+            samples: SampledSeries::default(),
+            hooks: Vec::new(),
+        }
+    }
+}
+
+/// A fully built network plus its simulation state.
+pub struct Network {
+    /// All nodes.
+    pub nodes: Vec<Node>,
+    /// Event queue, RNG, per-flow stats.
+    pub ctx: Ctx,
+    /// Sampled series (populated when sampling is enabled).
+    pub samples: SampledSeries,
+    flow_locator: HashMap<FlowId, (NodeId, usize)>,
+    next_flow_id: u64,
+    sampler: SamplerConfig,
+    sample_interval: Option<Duration>,
+    hooks: Vec<Option<Hook>>,
+}
+
+impl Network {
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.ctx.queue.now()
+    }
+
+    /// Borrow a host.
+    pub fn host(&self, id: NodeId) -> &Host {
+        match &self.nodes[id.0] {
+            Node::Host(h) => h,
+            Node::Switch(_) => panic!("node {} is a switch", id.0),
+        }
+    }
+
+    /// Mutably borrow a host.
+    pub fn host_mut(&mut self, id: NodeId) -> &mut Host {
+        match &mut self.nodes[id.0] {
+            Node::Host(h) => h,
+            Node::Switch(_) => panic!("node {} is a switch", id.0),
+        }
+    }
+
+    /// Borrow a switch.
+    pub fn switch(&self, id: NodeId) -> &Switch {
+        match &self.nodes[id.0] {
+            Node::Switch(s) => s,
+            Node::Host(_) => panic!("node {} is a host", id.0),
+        }
+    }
+
+    /// Mutably borrow a switch.
+    pub fn switch_mut(&mut self, id: NodeId) -> &mut Switch {
+        match &mut self.nodes[id.0] {
+            Node::Switch(s) => s,
+            Node::Host(_) => panic!("node {} is a host", id.0),
+        }
+    }
+
+    /// A switch's counters.
+    pub fn switch_stats(&self, id: NodeId) -> SwitchStats {
+        self.switch(id).stats
+    }
+
+    /// Line rate of a host's NIC.
+    pub fn line_rate(&self, host: NodeId) -> Bandwidth {
+        self.host(host).line_rate()
+    }
+
+    /// Registers a flow from `src` to `dst`; `make_cc` receives the NIC
+    /// line rate and returns the flow's congestion-control instance.
+    pub fn add_flow(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        priority: Priority,
+        make_cc: impl FnOnce(Bandwidth) -> Box<dyn CongestionControl>,
+    ) -> FlowId {
+        let id = FlowId(self.next_flow_id);
+        self.next_flow_id += 1;
+        let line = self.line_rate(src);
+        let idx = self.host_mut(src).add_flow(id, dst, priority, make_cc(line));
+        self.flow_locator.insert(id, (src, idx));
+        self.ctx.flow_stats.insert(id, FlowStats::default());
+        id
+    }
+
+    /// Schedules `bytes` to be handed to `flow` at time `at` (clamped to
+    /// now). Use `u64::MAX` for a greedy, never-ending flow.
+    pub fn send_message(&mut self, flow: FlowId, bytes: u64, at: Time) {
+        let (host, idx) = self.flow_locator[&flow];
+        let at = at.max(self.ctx.queue.now());
+        self.ctx.queue.schedule(
+            at,
+            Event::Timer {
+                node: host,
+                kind: TimerKind::MessageArrival { flow: idx, bytes },
+            },
+        );
+    }
+
+    /// A flow's counters.
+    pub fn flow_stats(&self, flow: FlowId) -> &FlowStats {
+        &self.ctx.flow_stats[&flow]
+    }
+
+    /// A flow's current CC rate.
+    pub fn flow_rate(&self, flow: FlowId) -> Bandwidth {
+        let (host, idx) = self.flow_locator[&flow];
+        self.host(host).flows[idx].current_rate()
+    }
+
+    /// Average receiver goodput of a flow over `[from, to]`, in Gbps,
+    /// computed from delivered bytes. Requires `from < to`.
+    pub fn goodput_gbps(&self, flow: FlowId, from: Time, to: Time) -> f64 {
+        // Uses the sampled series when available, else total counters.
+        if let Some(series) = self.samples.flow_bytes.get(&flow) {
+            let at = |t: Time| -> f64 {
+                match series.times.binary_search(&t) {
+                    Ok(i) => series.values[i],
+                    Err(0) => 0.0,
+                    Err(i) => series.values[i - 1],
+                }
+            };
+            let bytes = at(to) - at(from);
+            return bytes * 8.0 / (to - from).as_secs_f64() / 1e9;
+        }
+        let st = &self.ctx.flow_stats[&flow];
+        st.delivered_bytes as f64 * 8.0 / (to - from).as_secs_f64() / 1e9
+    }
+
+    /// Enables packet-level tracing with a ring of `capacity` events.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.ctx.tracer.enable(capacity);
+    }
+
+    /// The recorded trace (empty unless [`Network::enable_trace`] was
+    /// called).
+    pub fn trace(&self) -> &Tracer {
+        &self.ctx.tracer
+    }
+
+    /// Enables periodic sampling of queues/flows every `interval`.
+    pub fn enable_sampling(&mut self, interval: Duration, config: SamplerConfig) {
+        self.sampler = config;
+        self.sample_interval = Some(interval);
+        let at = self.ctx.queue.now() + interval;
+        self.ctx.queue.schedule(at, Event::Sample);
+    }
+
+    /// Schedules a one-shot mutation of the network at time `at`.
+    pub fn schedule_hook(&mut self, at: Time, hook: Hook) {
+        let id = self.hooks.len();
+        self.hooks.push(Some(hook));
+        self.ctx.queue.schedule(at, Event::Hook { id });
+    }
+
+    /// Runs the simulation until (and including) events at `until`.
+    pub fn run_until(&mut self, until: Time) {
+        while let Some(t) = self.ctx.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let (_, event) = self.ctx.queue.pop().expect("peeked");
+            self.dispatch(event);
+        }
+    }
+
+    /// Total events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.ctx.queue.events_executed()
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::Deliver { node, port, pkt } => {
+                let Network { nodes, ctx, .. } = self;
+                match &mut nodes[node.0] {
+                    Node::Switch(s) => s.receive(ctx, port, pkt),
+                    Node::Host(h) => h.receive(ctx, pkt),
+                }
+            }
+            Event::TxDone { node, port } => {
+                let Network { nodes, ctx, .. } = self;
+                match &mut nodes[node.0] {
+                    Node::Switch(s) => s.tx_done(ctx, port),
+                    Node::Host(h) => h.tx_done(ctx),
+                }
+            }
+            Event::Timer { node, kind } => {
+                let Network { nodes, ctx, .. } = self;
+                match &mut nodes[node.0] {
+                    Node::Host(h) => h.timer(ctx, kind),
+                    Node::Switch(_) => unreachable!("switches have no timers"),
+                }
+            }
+            Event::Sample => {
+                self.take_sample();
+                if let Some(interval) = self.sample_interval {
+                    let at = self.ctx.queue.now() + interval;
+                    self.ctx.queue.schedule(at, Event::Sample);
+                }
+            }
+            Event::Hook { id } => {
+                if let Some(mut hook) = self.hooks[id].take() {
+                    hook(self);
+                }
+            }
+        }
+    }
+
+    fn take_sample(&mut self) {
+        let now = self.ctx.queue.now();
+        for &(node, port) in &self.sampler.queues {
+            let depth = match &self.nodes[node.0] {
+                Node::Switch(s) => s.ports[port.0].total_queued_bytes(),
+                Node::Host(h) => h.port.total_queued_bytes(),
+            };
+            self.samples
+                .queues
+                .entry((node, port))
+                .or_default()
+                .push(now, depth as f64);
+        }
+        let flow_ids: Vec<FlowId> = if self.sampler.all_flows || self.sampler.flows.is_empty() {
+            let mut ids: Vec<FlowId> = self.ctx.flow_stats.keys().copied().collect();
+            ids.sort();
+            ids
+        } else {
+            self.sampler.flows.clone()
+        };
+        for id in flow_ids {
+            let bytes = self
+                .ctx
+                .flow_stats
+                .get(&id)
+                .map_or(0, |s| s.delivered_bytes);
+            self.samples
+                .flow_bytes
+                .entry(id)
+                .or_default()
+                .push(now, bytes as f64);
+        }
+        for &id in &self.sampler.rate_flows.clone() {
+            let rate = self.flow_rate(id).as_gbps_f64();
+            self.samples
+                .flow_rates
+                .entry(id)
+                .or_default()
+                .push(now, rate);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::NoCc;
+    use crate::packet::DATA_PRIORITY;
+
+    fn tiny() -> (Network, NodeId, NodeId) {
+        let mut b = NetworkBuilder::new(1);
+        let sw = b.switch(crate::switch::SwitchConfig::paper_default());
+        let h1 = b.host(crate::host::HostConfig::default());
+        let h2 = b.host(crate::host::HostConfig::default());
+        b.connect(h1, sw, Bandwidth::gbps(40), Duration::from_micros(1));
+        b.connect(h2, sw, Bandwidth::gbps(40), Duration::from_micros(1));
+        (b.build(), h1, h2)
+    }
+
+    #[test]
+    fn builder_assigns_ports_in_link_order() {
+        let (net, h1, _) = tiny();
+        let sw = net.switch(NodeId(0));
+        assert_eq!(sw.ports.len(), 2);
+        assert_eq!(sw.ports[0].attach.unwrap().peer, h1);
+        let host = net.host(h1);
+        assert_eq!(host.port.attach.unwrap().peer, NodeId(0));
+        assert_eq!(host.line_rate(), Bandwidth::gbps(40));
+    }
+
+    #[test]
+    fn flow_ids_are_sequential_and_locatable() {
+        let (mut net, h1, h2) = tiny();
+        let f0 = net.add_flow(h1, h2, DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+        let f1 = net.add_flow(h2, h1, DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+        assert_eq!((f0, f1), (crate::packet::FlowId(0), crate::packet::FlowId(1)));
+        assert_eq!(net.flow_rate(f0), Bandwidth::gbps(40));
+        assert_eq!(net.flow_stats(f1).sent_pkts, 0);
+    }
+
+    #[test]
+    fn run_until_respects_the_horizon() {
+        let (mut net, h1, h2) = tiny();
+        let f = net.add_flow(h1, h2, DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+        net.send_message(f, u64::MAX, Time::ZERO);
+        net.run_until(Time::from_micros(100));
+        assert!(net.now() <= Time::from_micros(100));
+        let sent_100us = net.flow_stats(f).sent_pkts;
+        net.run_until(Time::from_micros(200));
+        assert!(net.flow_stats(f).sent_pkts > sent_100us, "resumable");
+    }
+
+    #[test]
+    #[should_panic(expected = "is a switch")]
+    fn host_accessor_rejects_switches() {
+        let (net, _, _) = tiny();
+        let _ = net.host(NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "is a host")]
+    fn switch_accessor_rejects_hosts() {
+        let (net, h1, _) = tiny();
+        let _ = net.switch(h1);
+    }
+
+    #[test]
+    #[should_panic(expected = "hosts have one NIC")]
+    fn hosts_cannot_be_multihomed() {
+        let mut b = NetworkBuilder::new(1);
+        let sw = b.switch(crate::switch::SwitchConfig::paper_default());
+        let h = b.host(crate::host::HostConfig::default());
+        b.connect(h, sw, Bandwidth::gbps(40), Duration::from_micros(1));
+        b.connect(h, sw, Bandwidth::gbps(40), Duration::from_micros(1));
+        let _ = b.build();
+    }
+
+    #[test]
+    fn send_message_clamps_past_times_to_now() {
+        let (mut net, h1, h2) = tiny();
+        let f = net.add_flow(h1, h2, DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+        net.send_message(f, 1000, Time::ZERO);
+        net.run_until(Time::from_millis(1));
+        // Scheduling "in the past" now must not panic.
+        net.send_message(f, 1000, Time::ZERO);
+        net.run_until(Time::from_millis(2));
+        assert_eq!(net.flow_stats(f).completions.len(), 2);
+    }
+}

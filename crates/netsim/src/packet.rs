@@ -1,0 +1,290 @@
+//! Packet and frame definitions.
+//!
+//! The simulator models RoCEv2-style traffic: UDP/IP-encapsulated IB
+//! transport segments, plus the control frames the paper's machinery needs —
+//! acknowledgements (with NAK for go-back-N), Congestion Notification
+//! Packets (CNPs, RoCEv2 §17.9) and link-local PFC PAUSE/RESUME frames
+//! (802.1Qbb).
+
+use crate::event::NodeId;
+
+/// Per-data-packet protocol overhead in bytes: Ethernet (18, header + FCS),
+/// IPv4 (20), UDP (8), IB BTH (12) and ICRC + padding (6).
+pub const HEADER_BYTES: u64 = 64;
+
+/// Wire size of small control frames (ACK/NAK/CNP/PFC): minimum Ethernet
+/// frame.
+pub const CONTROL_BYTES: u64 = 64;
+
+/// Globally unique flow identifier (stands in for the 5-tuple / queue pair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u64);
+
+/// 802.1p priority / PFC class. Lower value = higher scheduling priority in
+/// this simulator.
+pub type Priority = u8;
+
+/// Number of PFC priority classes, as in the paper's switches.
+pub const NUM_PRIORITIES: usize = 8;
+
+/// Priority used for control traffic (ACKs and CNPs). The paper sends CNPs
+/// "with high priority, to avoid missing the CNP deadline".
+pub const CONTROL_PRIORITY: Priority = 0;
+
+/// Default priority class for RDMA data traffic.
+pub const DATA_PRIORITY: Priority = 3;
+
+/// ECN codepoint carried in the IP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ecn {
+    /// Not ECN-capable transport (control frames).
+    NotEct,
+    /// ECN-capable, not marked.
+    Ect,
+    /// Congestion experienced (marked by a switch).
+    Ce,
+}
+
+/// What a packet is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// An RoCE data segment: `psn` sequence number, true payload bytes,
+    /// and an end-of-message flag (the receiver ACKs message tails
+    /// immediately, like RoCE's per-operation acknowledgements).
+    Data {
+        /// Packet sequence number.
+        psn: u64,
+        /// Payload bytes carried.
+        payload: u64,
+        /// Last packet of its message.
+        eom: bool,
+    },
+    /// Cumulative acknowledgement: everything below `cum_psn` received in
+    /// order. `acked` / `marked` count data packets (and CE-marked ones)
+    /// covered since the previous ACK — DCTCP uses the ratio.
+    Ack {
+        /// Next PSN the receiver expects (everything below is delivered).
+        cum_psn: u64,
+        /// Data packets newly covered by this ACK.
+        acked: u32,
+        /// How many of those carried CE.
+        marked: u32,
+    },
+    /// Out-of-sequence NAK (go-back-N): receiver expected `expected_psn`.
+    Nack {
+        /// The PSN the receiver needs next.
+        expected_psn: u64,
+    },
+    /// Congestion Notification Packet sent by the NP to the flow's source.
+    Cnp,
+    /// Link-local PFC frame for `class`; `pause == false` means RESUME (the
+    /// paper's switches use Xoff/Xon rather than timed pause quanta).
+    Pfc {
+        /// The 802.1p class the frame applies to.
+        class: Priority,
+        /// PAUSE (true) or RESUME (false).
+        pause: bool,
+    },
+    /// QCN congestion notification message carrying the quantized feedback
+    /// value Fb (used only by the QCN baseline).
+    QcnFeedback {
+        /// Quantized 6-bit congestion feedback.
+        fb: u8,
+    },
+}
+
+/// A packet in flight or queued.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// What this packet is.
+    pub kind: PacketKind,
+    /// Originating host (or switch, for PFC frames).
+    pub src: NodeId,
+    /// Destination host. PFC frames are consumed by the immediate neighbor
+    /// and never routed, so their `dst` is the neighbor.
+    pub dst: NodeId,
+    /// Flow this packet belongs to (ACK/NAK/CNP reference the data flow).
+    pub flow: FlowId,
+    /// PFC / scheduling class.
+    pub priority: Priority,
+    /// Total bytes occupied on the wire and in switch buffers.
+    pub wire_bytes: u64,
+    /// ECN codepoint.
+    pub ecn: Ecn,
+}
+
+impl Packet {
+    /// Builds a data segment of `payload` bytes.
+    pub fn data(src: NodeId, dst: NodeId, flow: FlowId, priority: Priority, psn: u64, payload: u64) -> Packet {
+        Packet {
+            kind: PacketKind::Data { psn, payload, eom: false },
+            src,
+            dst,
+            flow,
+            priority,
+            wire_bytes: payload + HEADER_BYTES,
+            ecn: Ecn::Ect,
+        }
+    }
+
+    /// Builds a cumulative ACK (optionally carrying DCTCP-style ECN-echo
+    /// counts).
+    pub fn ack(src: NodeId, dst: NodeId, flow: FlowId, cum_psn: u64, acked: u32, marked: u32) -> Packet {
+        Packet {
+            kind: PacketKind::Ack { cum_psn, acked, marked },
+            src,
+            dst,
+            flow,
+            priority: CONTROL_PRIORITY,
+            wire_bytes: CONTROL_BYTES,
+            ecn: Ecn::NotEct,
+        }
+    }
+
+    /// Builds a go-back-N NAK.
+    pub fn nack(src: NodeId, dst: NodeId, flow: FlowId, expected_psn: u64) -> Packet {
+        Packet {
+            kind: PacketKind::Nack { expected_psn },
+            src,
+            dst,
+            flow,
+            priority: CONTROL_PRIORITY,
+            wire_bytes: CONTROL_BYTES,
+            ecn: Ecn::NotEct,
+        }
+    }
+
+    /// Builds a CNP addressed to the flow's source.
+    pub fn cnp(src: NodeId, dst: NodeId, flow: FlowId) -> Packet {
+        Packet {
+            kind: PacketKind::Cnp,
+            src,
+            dst,
+            flow,
+            priority: CONTROL_PRIORITY,
+            wire_bytes: CONTROL_BYTES,
+            ecn: Ecn::NotEct,
+        }
+    }
+
+    /// Builds a link-local PFC PAUSE (`pause = true`) or RESUME frame.
+    pub fn pfc(src: NodeId, dst: NodeId, class: Priority, pause: bool) -> Packet {
+        Packet {
+            kind: PacketKind::Pfc { class, pause },
+            src,
+            dst,
+            flow: FlowId(u64::MAX),
+            priority: CONTROL_PRIORITY,
+            wire_bytes: CONTROL_BYTES,
+            ecn: Ecn::NotEct,
+        }
+    }
+
+    /// Builds a QCN feedback message (baseline only).
+    pub fn qcn_feedback(src: NodeId, dst: NodeId, flow: FlowId, fb: u8) -> Packet {
+        Packet {
+            kind: PacketKind::QcnFeedback { fb },
+            src,
+            dst,
+            flow,
+            priority: CONTROL_PRIORITY,
+            wire_bytes: CONTROL_BYTES,
+            ecn: Ecn::NotEct,
+        }
+    }
+
+    /// True for RoCE data segments.
+    pub fn is_data(&self) -> bool {
+        matches!(self.kind, PacketKind::Data { .. })
+    }
+
+    /// True for link-local PFC frames.
+    pub fn is_pfc(&self) -> bool {
+        matches!(self.kind, PacketKind::Pfc { .. })
+    }
+
+    /// Payload bytes (0 for control frames).
+    pub fn payload(&self) -> u64 {
+        match self.kind {
+            PacketKind::Data { payload, .. } => payload,
+            _ => 0,
+        }
+    }
+
+    /// Marks the packet with Congestion Experienced if it is ECN-capable.
+    /// Returns true when a mark was applied.
+    pub fn mark_ce(&mut self) -> bool {
+        match self.ecn {
+            Ecn::Ect => {
+                self.ecn = Ecn::Ce;
+                true
+            }
+            Ecn::Ce => true,
+            Ecn::NotEct => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn data_wire_size_includes_headers() {
+        let p = Packet::data(n(0), n(1), FlowId(7), DATA_PRIORITY, 0, 1436);
+        assert_eq!(p.wire_bytes, 1500);
+        assert_eq!(p.payload(), 1436);
+        assert!(p.is_data());
+        assert_eq!(p.ecn, Ecn::Ect);
+    }
+
+    #[test]
+    fn control_frames_are_minimum_size_and_not_ect() {
+        for p in [
+            Packet::ack(n(0), n(1), FlowId(1), 10, 4, 1),
+            Packet::nack(n(0), n(1), FlowId(1), 3),
+            Packet::cnp(n(0), n(1), FlowId(1)),
+            Packet::pfc(n(0), n(1), 3, true),
+        ] {
+            assert_eq!(p.wire_bytes, CONTROL_BYTES);
+            assert_eq!(p.ecn, Ecn::NotEct);
+            assert_eq!(p.payload(), 0);
+            assert!(!p.is_data());
+        }
+    }
+
+    #[test]
+    fn pfc_frames_are_recognized() {
+        let p = Packet::pfc(n(0), n(1), 3, false);
+        assert!(p.is_pfc());
+        match p.kind {
+            PacketKind::Pfc { class, pause } => {
+                assert_eq!(class, 3);
+                assert!(!pause);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn marking_only_applies_to_ect() {
+        let mut d = Packet::data(n(0), n(1), FlowId(1), 3, 0, 100);
+        assert!(d.mark_ce());
+        assert_eq!(d.ecn, Ecn::Ce);
+        assert!(d.mark_ce(), "already-marked stays marked");
+
+        let mut a = Packet::ack(n(0), n(1), FlowId(1), 1, 1, 0);
+        assert!(!a.mark_ce());
+        assert_eq!(a.ecn, Ecn::NotEct);
+    }
+
+    #[test]
+    fn control_packets_use_control_priority() {
+        assert_eq!(Packet::cnp(n(0), n(1), FlowId(1)).priority, CONTROL_PRIORITY);
+        assert_eq!(Packet::ack(n(0), n(1), FlowId(1), 0, 0, 0).priority, CONTROL_PRIORITY);
+    }
+}

@@ -1,0 +1,243 @@
+//! A transmit port: per-priority egress queues, PFC pause state, and the
+//! transmitter itself. Used by both switches and host NICs.
+
+use crate::event::{LinkId, NodeId, PortId};
+use crate::packet::{Packet, NUM_PRIORITIES};
+use crate::units::{Bandwidth, Duration};
+use std::collections::VecDeque;
+
+/// Where a port is plugged in: the link and the far end.
+#[derive(Debug, Clone, Copy)]
+pub struct Attachment {
+    /// Link this port terminates.
+    pub link: LinkId,
+    /// Node on the other side.
+    pub peer: NodeId,
+    /// Port on the other side.
+    pub peer_port: PortId,
+    /// Link bandwidth (same both directions).
+    pub bandwidth: Bandwidth,
+    /// One-way propagation delay (includes forwarding pipeline latency).
+    pub delay: Duration,
+}
+
+/// A queued packet plus the ingress attribution needed to release shared
+/// buffer space when it finally leaves the switch. `None` for packets that
+/// never occupied the shared buffer (host-generated, or switch-local PFC).
+#[derive(Debug, Clone)]
+pub struct Queued {
+    /// The packet.
+    pub pkt: Packet,
+    /// `(ingress port index, priority)` for buffer release, if attributed.
+    pub ingress: Option<(usize, usize)>,
+    /// Whether this entry is counted in `queued_bytes` (PFC frames from
+    /// the dedicated queue are not).
+    counted: bool,
+}
+
+impl Queued {
+    /// A packet destined for the per-priority queues.
+    pub fn new(pkt: Packet, ingress: Option<(usize, usize)>) -> Queued {
+        Queued {
+            pkt,
+            ingress,
+            counted: false,
+        }
+    }
+}
+
+/// A transmit port with strict-priority scheduling across `NUM_PRIORITIES`
+/// classes, plus a dedicated always-first queue for link-local PFC frames
+/// (which must never be blocked or reordered behind data).
+#[derive(Debug)]
+pub struct Port {
+    /// Link attachment; `None` for unconnected ports.
+    pub attach: Option<Attachment>,
+    /// True while the transmitter is serializing a packet.
+    pub busy: bool,
+    /// Locally generated PFC frames awaiting transmission.
+    pub pfc_queue: VecDeque<Packet>,
+    /// Per-priority FIFO egress queues.
+    pub queues: Vec<VecDeque<Queued>>,
+    /// Bytes queued per priority (wire bytes, including the in-flight
+    /// packet's — a packet counts until its transmission completes).
+    pub queued_bytes: [u64; NUM_PRIORITIES],
+    /// Classes paused by a PFC PAUSE received *on this port* — we must stop
+    /// transmitting them until RESUME.
+    pub rx_paused: [bool; NUM_PRIORITIES],
+    /// Classes for which *we* have paused the upstream neighbor (this port
+    /// viewed as ingress). Used for RESUME hysteresis.
+    pub tx_pause_sent: [bool; NUM_PRIORITIES],
+    /// The packet currently being serialized.
+    pub current: Option<Queued>,
+}
+
+impl Default for Port {
+    fn default() -> Port {
+        Port::new()
+    }
+}
+
+impl Port {
+    /// Creates an unattached, empty port.
+    pub fn new() -> Port {
+        Port {
+            attach: None,
+            busy: false,
+            pfc_queue: VecDeque::new(),
+            queues: (0..NUM_PRIORITIES).map(|_| VecDeque::new()).collect(),
+            queued_bytes: [0; NUM_PRIORITIES],
+            rx_paused: [false; NUM_PRIORITIES],
+            tx_pause_sent: [false; NUM_PRIORITIES],
+            current: None,
+        }
+    }
+
+    /// Enqueues a packet on its priority class.
+    pub fn enqueue(&mut self, mut q: Queued) {
+        let prio = q.pkt.priority as usize;
+        q.counted = true;
+        self.queued_bytes[prio] += q.pkt.wire_bytes;
+        self.queues[prio].push_back(q);
+    }
+
+    /// Total bytes across all priority queues.
+    pub fn total_queued_bytes(&self) -> u64 {
+        self.queued_bytes.iter().sum()
+    }
+
+    /// Picks the next packet to transmit under strict priority + PFC pause
+    /// state, or `None` if nothing is eligible. PFC frames always win and
+    /// are never paused.
+    pub fn dequeue_next(&mut self) -> Option<Queued> {
+        if let Some(pkt) = self.pfc_queue.pop_front() {
+            return Some(Queued {
+                pkt,
+                ingress: None,
+                counted: false,
+            });
+        }
+        for prio in 0..NUM_PRIORITIES {
+            if self.rx_paused[prio] {
+                continue;
+            }
+            if let Some(q) = self.queues[prio].pop_front() {
+                return Some(q);
+            }
+        }
+        None
+    }
+
+    /// True when some queue holds a transmittable packet right now.
+    pub fn has_eligible(&self) -> bool {
+        !self.pfc_queue.is_empty()
+            || (0..NUM_PRIORITIES)
+                .any(|p| !self.rx_paused[p] && !self.queues[p].is_empty())
+    }
+
+    /// Called when a packet finishes serializing: drops the byte accounting
+    /// it held (in-flight packets count toward `queued_bytes` until done).
+    pub fn finish_current(&mut self) -> Option<Queued> {
+        let q = self.current.take()?;
+        if q.counted {
+            let prio = q.pkt.priority as usize;
+            debug_assert!(self.queued_bytes[prio] >= q.pkt.wire_bytes);
+            self.queued_bytes[prio] -= q.pkt.wire_bytes;
+        }
+        Some(q)
+    }
+
+    /// Applies a received PFC frame to this port's transmit state.
+    /// Returns true if a paused class was released (caller should retry
+    /// transmission).
+    pub fn apply_pfc(&mut self, class: u8, pause: bool) -> bool {
+        let was = self.rx_paused[class as usize];
+        self.rx_paused[class as usize] = pause;
+        was && !pause
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::NodeId;
+    use crate::packet::{FlowId, PacketKind};
+
+    fn data(prio: u8, bytes: u64) -> Queued {
+        let mut p = Packet::data(NodeId(0), NodeId(1), FlowId(1), prio, 0, bytes - 64);
+        p.wire_bytes = bytes;
+        Queued::new(p, Some((2, prio as usize)))
+    }
+
+    #[test]
+    fn strict_priority_ordering() {
+        let mut port = Port::new();
+        port.enqueue(data(5, 1500));
+        port.enqueue(data(3, 1500));
+        port.enqueue(data(0, 64));
+        assert_eq!(port.dequeue_next().unwrap().pkt.priority, 0);
+        assert_eq!(port.dequeue_next().unwrap().pkt.priority, 3);
+        assert_eq!(port.dequeue_next().unwrap().pkt.priority, 5);
+        assert!(port.dequeue_next().is_none());
+    }
+
+    #[test]
+    fn fifo_within_priority() {
+        let mut port = Port::new();
+        let mut a = data(3, 1000);
+        a.pkt.wire_bytes = 1000;
+        port.enqueue(a);
+        port.enqueue(data(3, 1500));
+        assert_eq!(port.dequeue_next().unwrap().pkt.wire_bytes, 1000);
+        assert_eq!(port.dequeue_next().unwrap().pkt.wire_bytes, 1500);
+    }
+
+    #[test]
+    fn pfc_frames_preempt_everything() {
+        let mut port = Port::new();
+        port.enqueue(data(0, 64));
+        port.pfc_queue
+            .push_back(Packet::pfc(NodeId(0), NodeId(1), 3, true));
+        let first = port.dequeue_next().unwrap();
+        assert!(matches!(first.pkt.kind, PacketKind::Pfc { .. }));
+    }
+
+    #[test]
+    fn paused_classes_are_skipped() {
+        let mut port = Port::new();
+        port.enqueue(data(3, 1500));
+        port.enqueue(data(5, 1500));
+        port.apply_pfc(3, true);
+        assert_eq!(port.dequeue_next().unwrap().pkt.priority, 5);
+        assert!(port.dequeue_next().is_none());
+        assert!(!port.has_eligible());
+        let released = port.apply_pfc(3, false);
+        assert!(released);
+        assert!(port.has_eligible());
+        assert_eq!(port.dequeue_next().unwrap().pkt.priority, 3);
+    }
+
+    #[test]
+    fn byte_accounting_spans_transmission() {
+        let mut port = Port::new();
+        port.enqueue(data(3, 1500));
+        assert_eq!(port.queued_bytes[3], 1500);
+        let q = port.dequeue_next().unwrap();
+        port.current = Some(q);
+        // Still accounted while in flight.
+        assert_eq!(port.queued_bytes[3], 1500);
+        let done = port.finish_current().unwrap();
+        assert_eq!(done.pkt.wire_bytes, 1500);
+        assert_eq!(port.queued_bytes[3], 0);
+        assert_eq!(port.total_queued_bytes(), 0);
+    }
+
+    #[test]
+    fn apply_pfc_reports_release_only_on_transition() {
+        let mut port = Port::new();
+        assert!(!port.apply_pfc(3, true));
+        assert!(!port.apply_pfc(3, true));
+        assert!(port.apply_pfc(3, false));
+        assert!(!port.apply_pfc(3, false));
+    }
+}

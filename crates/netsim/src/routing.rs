@@ -1,0 +1,148 @@
+//! Route computation: shortest-path next-hop sets with equal-cost
+//! multipath.
+//!
+//! The paper's testbed routes with BGP + ECMP over a Clos; in a Clos all
+//! minimal paths are shortest paths, so plain BFS per destination yields
+//! exactly the up/down ECMP route sets the testbed uses. Path selection
+//! among equal-cost ports is done at the switch by hashing the flow id
+//! (standing in for the 5-tuple) with a per-run salt.
+
+use crate::event::{NodeId, PortId};
+use std::collections::{HashMap, VecDeque};
+
+/// An undirected edge: (node a, port on a, node b, port on b).
+pub type Edge = (NodeId, PortId, NodeId, PortId);
+
+/// Per-node routing table: destination node → equal-cost egress ports.
+pub type RouteTable = HashMap<NodeId, Vec<PortId>>;
+
+/// Computes, for every node, the set of equal-cost shortest-path egress
+/// ports toward each destination in `dests`.
+///
+/// Port lists are sorted for determinism. Unreachable destinations simply
+/// have no entry.
+pub fn compute_routes(num_nodes: usize, edges: &[Edge], dests: &[NodeId]) -> Vec<RouteTable> {
+    // adjacency[u] = (neighbor, egress port on u)
+    let mut adjacency: Vec<Vec<(NodeId, PortId)>> = vec![Vec::new(); num_nodes];
+    for &(a, pa, b, pb) in edges {
+        adjacency[a.0].push((b, pa));
+        adjacency[b.0].push((a, pb));
+    }
+    for adj in &mut adjacency {
+        adj.sort_by_key(|&(n, p)| (n.0, p.0));
+    }
+
+    let mut tables: Vec<RouteTable> = vec![HashMap::new(); num_nodes];
+    for &dst in dests {
+        // BFS from dst; dist[u] = hops from u to dst.
+        let mut dist = vec![usize::MAX; num_nodes];
+        dist[dst.0] = 0;
+        let mut queue = VecDeque::from([dst]);
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in &adjacency[u.0] {
+                if dist[v.0] == usize::MAX {
+                    dist[v.0] = dist[u.0] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        for u in 0..num_nodes {
+            if u == dst.0 || dist[u] == usize::MAX {
+                continue;
+            }
+            let mut ports: Vec<PortId> = adjacency[u]
+                .iter()
+                .filter(|&&(v, _)| dist[v.0] + 1 == dist[u])
+                .map(|&(_, p)| p)
+                .collect();
+            if !ports.is_empty() {
+                ports.sort_by_key(|p| p.0);
+                tables[u].insert(dst, ports);
+            }
+        }
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+    fn p(i: usize) -> PortId {
+        PortId(i)
+    }
+
+    /// H0 -- S2 -- H1 (a single switch).
+    #[test]
+    fn star_routes() {
+        let edges = vec![(n(0), p(0), n(2), p(0)), (n(1), p(0), n(2), p(1))];
+        let t = compute_routes(3, &edges, &[n(0), n(1)]);
+        assert_eq!(t[2][&n(0)], vec![p(0)]);
+        assert_eq!(t[2][&n(1)], vec![p(1)]);
+        assert_eq!(t[0][&n(1)], vec![p(0)]);
+        assert!(!t[0].contains_key(&n(0)), "no route to self");
+    }
+
+    /// Two equal-cost middle switches:
+    ///     H0 - A - {M1, M2} - B - H1
+    #[test]
+    fn ecmp_route_sets() {
+        // nodes: 0=H0 1=H1 2=A 3=B 4=M1 5=M2
+        let edges = vec![
+            (n(0), p(0), n(2), p(0)),
+            (n(1), p(0), n(3), p(0)),
+            (n(2), p(1), n(4), p(0)),
+            (n(2), p(2), n(5), p(0)),
+            (n(3), p(1), n(4), p(1)),
+            (n(3), p(2), n(5), p(1)),
+        ];
+        let t = compute_routes(6, &edges, &[n(0), n(1)]);
+        // A has two equal-cost uplinks toward H1.
+        assert_eq!(t[2][&n(1)], vec![p(1), p(2)]);
+        // M1/M2 route down to B for H1.
+        assert_eq!(t[4][&n(1)], vec![p(1)]);
+        assert_eq!(t[5][&n(1)], vec![p(1)]);
+        // B never routes H1-bound traffic back up.
+        assert_eq!(t[3][&n(1)], vec![p(0)]);
+        // And symmetric for H0.
+        assert_eq!(t[3][&n(0)], vec![p(1), p(2)]);
+    }
+
+    #[test]
+    fn unreachable_destinations_have_no_entry() {
+        let edges = vec![(n(0), p(0), n(1), p(0))];
+        let t = compute_routes(3, &edges, &[n(2)]);
+        assert!(!t[0].contains_key(&n(2)));
+        assert!(!t[1].contains_key(&n(2)));
+    }
+
+    #[test]
+    fn routes_only_computed_for_requested_dests() {
+        let edges = vec![(n(0), p(0), n(1), p(0))];
+        let t = compute_routes(2, &edges, &[n(1)]);
+        assert!(t[0].contains_key(&n(1)));
+        assert!(!t[1].contains_key(&n(0)));
+    }
+
+    #[test]
+    fn port_lists_are_sorted_and_deterministic() {
+        // Same topology built with edges in different orders must produce
+        // identical tables.
+        let edges1 = vec![
+            (n(0), p(0), n(2), p(0)),
+            (n(2), p(2), n(3), p(0)),
+            (n(2), p(1), n(4), p(0)),
+            (n(3), p(1), n(1), p(0)),
+            (n(4), p(1), n(1), p(1)),
+        ];
+        let mut edges2 = edges1.clone();
+        edges2.reverse();
+        let t1 = compute_routes(5, &edges1, &[n(1)]);
+        let t2 = compute_routes(5, &edges2, &[n(1)]);
+        assert_eq!(t1[0][&n(1)], t2[0][&n(1)]);
+        assert_eq!(t1[2][&n(1)], vec![p(1), p(2)]);
+    }
+}

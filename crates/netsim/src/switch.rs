@@ -1,0 +1,455 @@
+//! The shared-buffer switch: ingress admission with PFC, routing with ECMP,
+//! RED/ECN marking at egress, strict-priority scheduling.
+//!
+//! The pipeline for a forwarded packet is:
+//!
+//! 1. **ingress admission** — charge the shared pool, attributed to the
+//!    ingress (port, priority); tail-drop if the pool is exhausted,
+//! 2. **PFC check** — if the ingress queue crossed `t_PFC`, PAUSE the
+//!    upstream device (§4's static or dynamic-β threshold),
+//! 3. **routing** — ECMP among equal-cost shortest-path ports by flow hash,
+//! 4. **ECN marking** — RED on the instantaneous egress queue depth,
+//! 5. **egress enqueue** — per-priority FIFO; in lossy mode (PFC off for the
+//!    class) the queue is capped and overflow is dropped,
+//! 6. **transmit** — strict priority, skipping PFC-paused classes; buffer
+//!    space is released when serialization completes, at which point RESUME
+//!    may fire.
+
+use crate::buffer::{BufferConfig, SharedBuffer};
+use crate::ecn::RedConfig;
+use crate::event::{Event, NodeId, PortId};
+use crate::network::Ctx;
+use crate::packet::{Packet, PacketKind, NUM_PRIORITIES};
+use crate::port::{Port, Queued};
+use crate::routing::RouteTable;
+use crate::rng::mix64;
+use crate::stats::SwitchStats;
+use crate::trace::{TraceEvent, TraceKind};
+
+/// QCN congestion-point configuration (used only by the QCN baseline).
+#[derive(Debug, Clone, Copy)]
+pub struct QcnCpConfig {
+    /// Equilibrium egress queue length in bytes (`Q_eq`).
+    pub q_eq_bytes: u64,
+    /// Weight of the queue derivative in Fb.
+    pub w: f64,
+    /// Sample a packet for feedback every this many egress bytes.
+    pub sample_bytes: u64,
+}
+
+impl Default for QcnCpConfig {
+    fn default() -> QcnCpConfig {
+        QcnCpConfig {
+            q_eq_bytes: 66 * 1500, // QCN spec default ~ 66 frames
+            w: 2.0,
+            sample_bytes: 150 * 1024, // 150 KB sampling interval
+        }
+    }
+}
+
+/// Static configuration of a switch.
+#[derive(Debug, Clone)]
+pub struct SwitchConfig {
+    /// Shared-buffer and PFC threshold parameters.
+    pub buffer: BufferConfig,
+    /// RED/ECN marking parameters (the DCQCN CP).
+    pub red: RedConfig,
+    /// Is PFC enabled at all?
+    pub pfc_enabled: bool,
+    /// Which priority classes are lossless (PFC-protected). Ignored when
+    /// `pfc_enabled` is false.
+    pub lossless: [bool; NUM_PRIORITIES],
+    /// QCN congestion point (baseline only).
+    pub qcn: Option<QcnCpConfig>,
+}
+
+impl SwitchConfig {
+    /// The paper's production switch configuration: Trident II buffer with
+    /// dynamic β = 8 thresholds, marking disabled (enable it via
+    /// [`SwitchConfig::with_red`]). As in the deployment, PFC protects the
+    /// RDMA data classes; the control class (priority 0, carrying
+    /// ACKs/CNPs "with high priority") is served by strict priority and
+    /// is not PFC-paused.
+    pub fn paper_default() -> SwitchConfig {
+        let mut lossless = [true; NUM_PRIORITIES];
+        lossless[crate::packet::CONTROL_PRIORITY as usize] = false;
+        SwitchConfig {
+            buffer: BufferConfig::trident2(),
+            red: RedConfig::disabled(),
+            pfc_enabled: true,
+            lossless,
+            qcn: None,
+        }
+    }
+
+    /// Same configuration with RED/ECN marking enabled.
+    pub fn with_red(mut self, red: RedConfig) -> SwitchConfig {
+        self.red = red;
+        self
+    }
+
+    /// Disables PFC (the paper's "DCQCN without PFC" configuration).
+    pub fn without_pfc(mut self) -> SwitchConfig {
+        self.pfc_enabled = false;
+        self
+    }
+}
+
+/// Per-egress-port QCN sampling state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QcnPortState {
+    /// Bytes seen since the last sampled packet.
+    pub bytes_since_sample: u64,
+    /// Queue length at the previous sample (for q_delta).
+    pub q_old: u64,
+}
+
+/// A switch instance.
+pub struct Switch {
+    /// This switch's node id.
+    pub id: NodeId,
+    /// Ports (egress queues + transmitters).
+    pub ports: Vec<Port>,
+    /// Shared-buffer occupancy and PFC thresholds.
+    pub buffer: SharedBuffer,
+    /// Configuration.
+    pub config: SwitchConfig,
+    /// Destination → equal-cost egress ports.
+    pub routes: RouteTable,
+    /// Counters.
+    pub stats: SwitchStats,
+    /// QCN per-port sampling state.
+    qcn_state: Vec<QcnPortState>,
+    /// Ingress (port, priority) pairs we have currently paused — kept
+    /// explicitly so RESUME can be re-evaluated on *any* buffer release
+    /// (the dynamic threshold rises as the pool drains, so a pause can
+    /// become releasable without traffic on its own ingress).
+    paused_ingress: Vec<(usize, usize)>,
+}
+
+impl Switch {
+    /// Creates a switch with `nports` (unattached) ports. If the topology
+    /// needs more ports than the buffer profile's nominal count, the
+    /// profile is widened so per-port accounting (and headroom
+    /// reservation) covers every real port.
+    pub fn new(id: NodeId, nports: usize, config: SwitchConfig) -> Switch {
+        let mut buf_cfg = config.buffer;
+        buf_cfg.num_ports = buf_cfg.num_ports.max(nports);
+        Switch {
+            id,
+            ports: (0..nports).map(|_| Port::new()).collect(),
+            buffer: SharedBuffer::new(buf_cfg),
+            qcn_state: vec![QcnPortState::default(); nports],
+            config,
+            routes: RouteTable::new(),
+            stats: SwitchStats::default(),
+            paused_ingress: Vec::new(),
+        }
+    }
+
+    /// Is `prio` PFC-protected on this switch?
+    pub fn is_lossless(&self, prio: usize) -> bool {
+        self.config.pfc_enabled && self.config.lossless[prio]
+    }
+
+    /// Picks the ECMP egress port for `pkt`, or `None` when unroutable.
+    pub fn route(&self, pkt: &Packet, salt: u64) -> Option<PortId> {
+        let ports = self.routes.get(&pkt.dst)?;
+        debug_assert!(!ports.is_empty());
+        let h = mix64(pkt.flow.0 ^ salt);
+        Some(ports[(h % ports.len() as u64) as usize])
+    }
+
+    /// Handles a packet delivered to this switch on `in_port`.
+    pub fn receive(&mut self, ctx: &mut Ctx, in_port: PortId, pkt: Packet) {
+        let now = ctx.queue.now();
+
+        // Link-local PFC frames control our transmitter on that port.
+        if let PacketKind::Pfc { class, pause } = pkt.kind {
+            self.stats.pause_rx += pause as u64;
+            let released = self.ports[in_port.0].apply_pfc(class, pause);
+            if released {
+                self.try_transmit(ctx, in_port);
+            }
+            return;
+        }
+
+        let prio = pkt.priority as usize;
+        let wire = pkt.wire_bytes;
+
+        // 1. Shared-pool admission.
+        if !self.buffer.admit(in_port.0, prio, wire) {
+            self.stats.drops_pool += 1;
+            ctx.tracer.record(TraceEvent {
+                at: now,
+                node: self.id,
+                flow: pkt.flow,
+                kind: TraceKind::Dropped,
+                detail: 0,
+            });
+            return;
+        }
+
+        // 2. PFC threshold check on the ingress queue.
+        if self.is_lossless(prio) {
+            let port = &mut self.ports[in_port.0];
+            if !port.tx_pause_sent[prio] && self.buffer.should_pause(in_port.0, prio) {
+                port.tx_pause_sent[prio] = true;
+                self.stats.pause_tx += 1;
+                let peer = port
+                    .attach
+                    .expect("packet arrived on unattached port")
+                    .peer;
+                port.pfc_queue
+                    .push_back(Packet::pfc(self.id, peer, prio as u8, true));
+                self.paused_ingress.push((in_port.0, prio));
+                ctx.tracer.record(TraceEvent {
+                    at: now,
+                    node: self.id,
+                    flow: pkt.flow,
+                    kind: TraceKind::PauseSent,
+                    detail: prio as u64,
+                });
+                self.try_transmit(ctx, in_port);
+            }
+        }
+
+        // 3. Routing.
+        let Some(out) = self.route(&pkt, ctx.ecmp_salt) else {
+            // Unroutable: release and count as a drop.
+            self.buffer.release(in_port.0, prio, wire);
+            self.stats.drops_pool += 1;
+            return;
+        };
+
+        let mut pkt = pkt;
+
+        // 4. ECN marking on the instantaneous egress queue depth.
+        let egress_depth = self.ports[out.0].queued_bytes[prio];
+        if pkt.is_data() && self.config.red.should_mark(egress_depth, &mut ctx.rng) && pkt.mark_ce()
+        {
+            self.stats.ecn_marks += 1;
+            ctx.tracer.record(TraceEvent {
+                at: now,
+                node: self.id,
+                flow: pkt.flow,
+                kind: TraceKind::Marked,
+                detail: egress_depth,
+            });
+        }
+
+        // QCN congestion point (baseline): sample and send feedback.
+        if pkt.is_data() {
+            if let Some(qcn) = self.config.qcn {
+                let st = &mut self.qcn_state[out.0];
+                st.bytes_since_sample += wire;
+                if st.bytes_since_sample >= qcn.sample_bytes {
+                    st.bytes_since_sample = 0;
+                    let q = egress_depth as f64;
+                    let q_off = q - qcn.q_eq_bytes as f64;
+                    let q_delta = q - st.q_old as f64;
+                    st.q_old = egress_depth;
+                    let fb = -(q_off + qcn.w * q_delta);
+                    if fb < 0.0 {
+                        // Quantize |Fb| to 6 bits against the maximum
+                        // |Fb| = (1 + 2w) * q_eq.
+                        let fb_max = (1.0 + 2.0 * qcn.w) * qcn.q_eq_bytes as f64;
+                        let quantized =
+                            (((-fb) / fb_max).min(1.0) * 63.0).round() as u8;
+                        if quantized > 0 {
+                            let fb_pkt =
+                                Packet::qcn_feedback(self.id, pkt.src, pkt.flow, quantized);
+                            self.forward_control(ctx, in_port, fb_pkt);
+                        }
+                    }
+                }
+            }
+        }
+
+        // 5. Lossy-mode egress cap.
+        if !self.is_lossless(prio) && egress_depth + wire > self.buffer.lossy_egress_limit() {
+            self.buffer.release(in_port.0, prio, wire);
+            self.stats.drops_lossy += 1;
+            ctx.tracer.record(TraceEvent {
+                at: now,
+                node: self.id,
+                flow: pkt.flow,
+                kind: TraceKind::Dropped,
+                detail: 1,
+            });
+            return;
+        }
+
+        // 6. Enqueue and (maybe) start transmitting.
+        self.stats.forwarded += 1;
+        self.ports[out.0].enqueue(Queued::new(pkt, Some((in_port.0, prio))));
+        self.try_transmit(ctx, out);
+    }
+
+    /// Injects a switch-originated control packet (QCN feedback) toward its
+    /// destination via normal routing, without shared-buffer accounting.
+    fn forward_control(&mut self, ctx: &mut Ctx, fallback_port: PortId, pkt: Packet) {
+        let out = self.route(&pkt, ctx.ecmp_salt).unwrap_or(fallback_port);
+        self.ports[out.0].enqueue(Queued::new(pkt, None));
+        self.try_transmit(ctx, out);
+    }
+
+    /// Starts transmission on `pid` if the transmitter is idle and a packet
+    /// is eligible.
+    pub fn try_transmit(&mut self, ctx: &mut Ctx, pid: PortId) {
+        let port = &mut self.ports[pid.0];
+        if port.busy {
+            return;
+        }
+        let Some(att) = port.attach else { return };
+        let Some(q) = port.dequeue_next() else { return };
+        let ser = att.bandwidth.serialize(q.pkt.wire_bytes);
+        let now = ctx.queue.now();
+        ctx.queue.schedule(
+            now + ser,
+            Event::TxDone {
+                node: self.id,
+                port: pid,
+            },
+        );
+        ctx.queue.schedule(
+            now + ser + att.delay,
+            Event::Deliver {
+                node: att.peer,
+                port: att.peer_port,
+                pkt: q.pkt.clone(),
+            },
+        );
+        port.current = Some(q);
+        port.busy = true;
+    }
+
+    /// A packet finished serializing on `pid`: release buffer space, check
+    /// RESUMEs, and keep transmitting.
+    pub fn tx_done(&mut self, ctx: &mut Ctx, pid: PortId) {
+        let port = &mut self.ports[pid.0];
+        port.busy = false;
+        if let Some(done) = port.finish_current() {
+            if let Some((ing_port, prio)) = done.ingress {
+                self.buffer.release(ing_port, prio, done.pkt.wire_bytes);
+                // Any release can make a paused ingress resumable — its
+                // own queue drained, or the pool freed up and the dynamic
+                // threshold rose. Re-check every currently paused pair.
+                self.check_resumes(ctx);
+            }
+        }
+        self.try_transmit(ctx, pid);
+    }
+
+    /// Sends RESUME for every paused ingress (port, priority) whose queue
+    /// is now two MTUs below the (possibly dynamic) threshold.
+    fn check_resumes(&mut self, ctx: &mut Ctx) {
+        let mut i = 0;
+        while i < self.paused_ingress.len() {
+            let (ing_port, prio) = self.paused_ingress[i];
+            if self.buffer.should_resume(ing_port, prio) {
+                self.paused_ingress.swap_remove(i);
+                let ing = &mut self.ports[ing_port];
+                ing.tx_pause_sent[prio] = false;
+                self.stats.resume_tx += 1;
+                let peer = ing.attach.expect("paused port must be attached").peer;
+                ing.pfc_queue
+                    .push_back(Packet::pfc(self.id, peer, prio as u8, false));
+                ctx.tracer.record(TraceEvent {
+                    at: ctx.queue.now(),
+                    node: self.id,
+                    flow: crate::packet::FlowId(u64::MAX),
+                    kind: TraceKind::ResumeSent,
+                    detail: prio as u64,
+                });
+                self.try_transmit(ctx, PortId(ing_port));
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, CONTROL_PRIORITY, DATA_PRIORITY};
+
+    fn test_switch() -> Switch {
+        let mut sw = Switch::new(NodeId(0), 4, SwitchConfig::paper_default());
+        sw.routes.insert(NodeId(10), vec![PortId(0)]);
+        sw.routes
+            .insert(NodeId(11), vec![PortId(1), PortId(2), PortId(3)]);
+        sw
+    }
+
+    #[test]
+    fn paper_default_protects_data_not_control() {
+        let sw = test_switch();
+        assert!(sw.is_lossless(DATA_PRIORITY as usize));
+        assert!(!sw.is_lossless(CONTROL_PRIORITY as usize));
+        let lossy = Switch::new(NodeId(0), 4, SwitchConfig::paper_default().without_pfc());
+        assert!(!lossy.is_lossless(DATA_PRIORITY as usize));
+    }
+
+    #[test]
+    fn route_is_deterministic_per_flow() {
+        let sw = test_switch();
+        let pkt = |flow: u64| {
+            Packet::data(NodeId(5), NodeId(11), FlowId(flow), DATA_PRIORITY, 0, 1000)
+        };
+        for flow in 0..50 {
+            let a = sw.route(&pkt(flow), 42).unwrap();
+            let b = sw.route(&pkt(flow), 42).unwrap();
+            assert_eq!(a, b, "same flow, same salt, same port");
+        }
+    }
+
+    #[test]
+    fn route_spreads_flows_across_equal_cost_ports() {
+        let sw = test_switch();
+        let mut used = std::collections::HashSet::new();
+        for flow in 0..100u64 {
+            let pkt = Packet::data(NodeId(5), NodeId(11), FlowId(flow), DATA_PRIORITY, 0, 1000);
+            used.insert(sw.route(&pkt, 42).unwrap());
+        }
+        assert_eq!(used.len(), 3, "all three ECMP ports get used");
+    }
+
+    #[test]
+    fn salt_changes_the_draw() {
+        let sw = test_switch();
+        let pkt = Packet::data(NodeId(5), NodeId(11), FlowId(7), DATA_PRIORITY, 0, 1000);
+        let draws: std::collections::HashSet<_> =
+            (0..32u64).map(|salt| sw.route(&pkt, salt).unwrap()).collect();
+        assert!(draws.len() > 1, "different salts reach different ports");
+    }
+
+    #[test]
+    fn unroutable_destination_returns_none() {
+        let sw = test_switch();
+        let pkt = Packet::data(NodeId(5), NodeId(99), FlowId(1), DATA_PRIORITY, 0, 1000);
+        assert!(sw.route(&pkt, 0).is_none());
+    }
+
+    #[test]
+    fn wide_topologies_widen_the_buffer_profile() {
+        let sw = Switch::new(NodeId(0), 48, SwitchConfig::paper_default());
+        assert_eq!(sw.buffer.config().num_ports, 48);
+        // Narrow ones keep the paper's 32-port arithmetic.
+        let sw2 = Switch::new(NodeId(0), 4, SwitchConfig::paper_default());
+        assert_eq!(sw2.buffer.config().num_ports, 32);
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = SwitchConfig::paper_default()
+            .with_red(RedConfig::cutoff(1000))
+            .without_pfc();
+        assert_eq!(c.red.kmin_bytes, 1000);
+        assert!(!c.pfc_enabled);
+        assert!(c.qcn.is_none());
+        let q = QcnCpConfig::default();
+        assert!(q.q_eq_bytes > 0 && q.sample_bytes > 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Packet-level event tracing.
+//!
+//! A bounded, allocation-light record of what happened to packets —
+//! marks, pauses, drops, deliveries — for debugging protocols and for
+//! fine-grained assertions in tests. Disabled by default; enabling it
+//! costs one branch per recorded event.
+//!
+//! ```
+//! use netsim::prelude::*;
+//! use netsim::trace::TraceKind;
+//!
+//! let mut star = netsim::topology::star(
+//!     3,
+//!     netsim::topology::LinkParams::default(),
+//!     HostConfig { cnp_interval: None, ..HostConfig::default() },
+//!     SwitchConfig::paper_default(),
+//!     1,
+//! );
+//! star.net.enable_trace(10_000);
+//! let f = star.net.add_flow(star.hosts[0], star.hosts[2], DATA_PRIORITY, |l| {
+//!     Box::new(NoCc::new(l))
+//! });
+//! star.net.send_message(f, 5_000, Time::ZERO);
+//! star.net.run_until(Time::from_millis(1));
+//! let delivered = star
+//!     .net
+//!     .trace()
+//!     .iter()
+//!     .filter(|e| e.kind == TraceKind::Delivered)
+//!     .count();
+//! assert_eq!(delivered, 4, "5000 B = 4 packets (3×1436 + 692)");
+//! ```
+
+use crate::event::NodeId;
+use crate::packet::FlowId;
+use crate::units::Time;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A data packet was ECN-marked at a switch egress.
+    Marked,
+    /// A switch sent a PAUSE upstream.
+    PauseSent,
+    /// A switch sent a RESUME upstream.
+    ResumeSent,
+    /// A packet was dropped (pool exhaustion or lossy-mode overflow).
+    Dropped,
+    /// An in-order data packet was accepted by its receiver.
+    Delivered,
+    /// A receiver sent a go-back-N NAK.
+    NackSent,
+    /// An NP generated a CNP.
+    CnpSent,
+    /// A sender's retransmission timeout fired.
+    Timeout,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: Time,
+    /// Where (switch or host).
+    pub node: NodeId,
+    /// The flow involved (`FlowId(u64::MAX)` when not flow-specific).
+    pub flow: FlowId,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Event-specific detail: PSN for Delivered/NackSent, queue depth in
+    /// bytes for Marked, priority class for Pause/Resume, 0 otherwise.
+    pub detail: u64,
+}
+
+/// A bounded ring of trace events (oldest evicted first).
+#[derive(Debug, Default)]
+pub struct Tracer {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    head: usize,
+    enabled: bool,
+}
+
+impl Tracer {
+    /// A disabled tracer (records nothing).
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Enables tracing with space for `capacity` events.
+    pub fn enable(&mut self, capacity: usize) {
+        assert!(capacity > 0, "capacity must be nonzero");
+        self.events = Vec::with_capacity(capacity.min(1 << 20));
+        self.capacity = capacity;
+        self.head = 0;
+        self.enabled = true;
+    }
+
+    /// Is tracing on?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op when disabled).
+    #[inline]
+    pub fn record(&mut self, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// The recorded events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (newer, older) = self.events.split_at(self.head);
+        older.iter().chain(newer.iter())
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of one kind, oldest first.
+    pub fn of_kind(&self, kind: TraceKind) -> Vec<TraceEvent> {
+        self.iter().filter(|e| e.kind == kind).copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            at: Time::from_micros(t),
+            node: NodeId(0),
+            flow: FlowId(1),
+            kind,
+            detail: t,
+        }
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.record(ev(1, TraceKind::Marked));
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut t = Tracer::disabled();
+        t.enable(10);
+        for i in 0..5 {
+            t.record(ev(i, TraceKind::Delivered));
+        }
+        let details: Vec<u64> = t.iter().map(|e| e.detail).collect();
+        assert_eq!(details, vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Tracer::disabled();
+        t.enable(3);
+        for i in 0..7 {
+            t.record(ev(i, TraceKind::Marked));
+        }
+        let details: Vec<u64> = t.iter().map(|e| e.detail).collect();
+        assert_eq!(details, vec![4, 5, 6]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn kind_filter() {
+        let mut t = Tracer::disabled();
+        t.enable(10);
+        t.record(ev(1, TraceKind::Marked));
+        t.record(ev(2, TraceKind::Dropped));
+        t.record(ev(3, TraceKind::Marked));
+        assert_eq!(t.of_kind(TraceKind::Marked).len(), 2);
+        assert_eq!(t.of_kind(TraceKind::Dropped).len(), 1);
+        assert_eq!(t.of_kind(TraceKind::Timeout).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        Tracer::disabled().enable(0);
+    }
+}

@@ -1,0 +1,185 @@
+//! ECMP path selection and the measurement infrastructure, end to end.
+
+use netsim::cc::NoCc;
+use netsim::event::PortId;
+use netsim::host::HostConfig;
+use netsim::network::NetworkBuilder;
+use netsim::packet::{FlowId, DATA_PRIORITY};
+use netsim::stats::SamplerConfig;
+use netsim::switch::SwitchConfig;
+use netsim::topology::{star, LinkParams};
+use netsim::units::{Bandwidth, Duration, Time};
+
+fn host_cfg() -> HostConfig {
+    HostConfig {
+        cnp_interval: None,
+        ..HostConfig::default()
+    }
+}
+
+/// Two equal-cost 40 G paths between edge switches: with enough flows,
+/// ECMP uses both (aggregate exceeds one path's capacity).
+#[test]
+fn ecmp_uses_parallel_paths() {
+    // a --- m1 --- b ;  a --- m2 --- b ; 4 hosts per side.
+    let mut totals = Vec::new();
+    for seed in 1..=4u64 {
+        let mut bld = NetworkBuilder::new(seed);
+        let a = bld.switch(SwitchConfig::paper_default());
+        let b = bld.switch(SwitchConfig::paper_default());
+        let m1 = bld.switch(SwitchConfig::paper_default());
+        let m2 = bld.switch(SwitchConfig::paper_default());
+        let d = Duration::from_micros(1);
+        let g = Bandwidth::gbps(40);
+        bld.connect(a, m1, g, d);
+        bld.connect(a, m2, g, d);
+        bld.connect(m1, b, g, d);
+        bld.connect(m2, b, g, d);
+        let srcs: Vec<_> = (0..4).map(|_| bld.host(host_cfg())).collect();
+        let dsts: Vec<_> = (0..4).map(|_| bld.host(host_cfg())).collect();
+        for &h in &srcs {
+            bld.connect(h, a, g, d);
+        }
+        for &h in &dsts {
+            bld.connect(h, b, g, d);
+        }
+        let mut net = bld.build();
+        let flows: Vec<FlowId> = (0..4)
+            .map(|i| net.add_flow(srcs[i], dsts[i], DATA_PRIORITY, |l| Box::new(NoCc::new(l))))
+            .collect();
+        for &f in &flows {
+            net.send_message(f, u64::MAX, Time::ZERO);
+        }
+        net.run_until(Time::from_millis(10));
+        let total: f64 = flows
+            .iter()
+            .map(|&f| net.flow_stats(f).delivered_bytes as f64 * 8.0 / 10e-3 / 1e9)
+            .sum();
+        totals.push(total);
+    }
+    // At least one seed spreads flows across both 40 G paths.
+    let best = totals.iter().cloned().fold(0.0f64, f64::max);
+    assert!(
+        best > 45.0,
+        "aggregate exceeded one path's capacity for some draw: {totals:?}"
+    );
+}
+
+/// The sampler produces well-formed series: strictly increasing times and
+/// nondecreasing cumulative byte counts; the goodput helper agrees with
+/// raw counters.
+#[test]
+fn sampler_series_are_well_formed() {
+    let mut s = star(
+        3,
+        LinkParams::default(),
+        host_cfg(),
+        SwitchConfig::paper_default(),
+        1,
+    );
+    let f = s
+        .net
+        .add_flow(s.hosts[0], s.hosts[2], DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+    s.net.send_message(f, u64::MAX, Time::ZERO);
+    s.net.enable_sampling(
+        Duration::from_micros(100),
+        SamplerConfig {
+            all_flows: true,
+            queues: vec![(s.switch, PortId(2))],
+            rate_flows: vec![f],
+            ..SamplerConfig::default()
+        },
+    );
+    let end = Time::from_millis(10);
+    s.net.run_until(end);
+
+    let series = &s.net.samples.flow_bytes[&f];
+    assert!(series.times.windows(2).all(|w| w[0] < w[1]));
+    assert!(series.values.windows(2).all(|w| w[0] <= w[1]));
+    assert!(series.times.len() > 90, "one sample per 100 µs");
+
+    // goodput over the full window ≈ delivered/duration.
+    let g = s.net.goodput_gbps(f, Time::ZERO, end);
+    let direct = s.net.flow_stats(f).delivered_bytes as f64 * 8.0 / 10e-3 / 1e9;
+    assert!((g - direct).abs() < 0.5, "goodput {g:.2} vs {direct:.2}");
+
+    // Queue series exists and stays tiny for a single flow.
+    let q = &s.net.samples.queues[&(s.switch, PortId(2))];
+    assert!(!q.values.is_empty());
+    assert!(q.values.iter().all(|&v| v < 20_000.0));
+
+    // Rate series reports the line rate for an uncontrolled flow.
+    let r = &s.net.samples.flow_rates[&f];
+    assert!(r.values.iter().all(|&v| (v - 40.0).abs() < 1e-9));
+}
+
+/// Hooks fire at their scheduled time and can mutate the network
+/// (starting a flow mid-run).
+#[test]
+fn hooks_start_flows_mid_run() {
+    let mut s = star(
+        3,
+        LinkParams::default(),
+        host_cfg(),
+        SwitchConfig::paper_default(),
+        1,
+    );
+    let f1 = s
+        .net
+        .add_flow(s.hosts[0], s.hosts[2], DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+    s.net.send_message(f1, u64::MAX, Time::ZERO);
+    s.net.schedule_hook(
+        Time::from_millis(5),
+        Box::new(|net| {
+            // Pull host ids back out of the network.
+            let src = netsim::event::NodeId(2);
+            let dst = netsim::event::NodeId(3);
+            let f2 = net.add_flow(src, dst, DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+            net.send_message(f2, 1_000_000, Time::ZERO);
+        }),
+    );
+    s.net.run_until(Time::from_millis(10));
+    // The hook-created flow is FlowId(1) and completed its transfer.
+    let st = s.net.flow_stats(FlowId(1));
+    assert_eq!(st.delivered_bytes, 1_000_000);
+    assert_eq!(st.completions.len(), 1);
+    assert!(st.completions[0].at >= Time::from_millis(5));
+}
+
+/// Mixed link speeds within one topology serialize correctly (10/40/100G).
+#[test]
+fn mixed_speed_links() {
+    let mut b = NetworkBuilder::new(9);
+    let sw = b.switch(SwitchConfig::paper_default());
+    let h10 = b.host(host_cfg());
+    let h40 = b.host(host_cfg());
+    let h100 = b.host(host_cfg());
+    let sink = b.host(host_cfg());
+    let d = Duration::from_micros(1);
+    b.connect(h10, sw, Bandwidth::gbps(10), d);
+    b.connect(h40, sw, Bandwidth::gbps(40), d);
+    b.connect(h100, sw, Bandwidth::gbps(100), d);
+    b.connect(sink, sw, Bandwidth::gbps(100), d);
+    let mut net = b.build();
+    let flows = [
+        (h10, 10.0),
+        (h40, 40.0),
+        (h100, 100.0),
+    ]
+    .map(|(h, expect)| {
+        let f = net.add_flow(h, sink, DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+        net.send_message(f, u64::MAX, Time::ZERO);
+        (f, expect)
+    });
+    net.run_until(Time::from_millis(10));
+    // Aggregate demand 150 > 100G sink: everyone is throttled, but the
+    // 10G host can never exceed its own line rate.
+    let g10 = net.flow_stats(flows[0].0).delivered_bytes as f64 * 8.0 / 10e-3 / 1e9;
+    assert!(g10 <= 10.0 * 0.97 + 0.5, "10G host capped: {g10:.1}");
+    let total: f64 = flows
+        .iter()
+        .map(|&(f, _)| net.flow_stats(f).delivered_bytes as f64 * 8.0 / 10e-3 / 1e9)
+        .sum();
+    assert!(total < 100.0, "sink capped: {total:.1}");
+    assert!(total > 85.0, "sink well used: {total:.1}");
+}

@@ -1,0 +1,156 @@
+//! Focused PFC mechanism tests: hop-by-hop propagation, drain/resume,
+//! and per-priority-class isolation.
+
+use netsim::cc::NoCc;
+use netsim::host::HostConfig;
+use netsim::network::NetworkBuilder;
+use netsim::packet::DATA_PRIORITY;
+use netsim::switch::SwitchConfig;
+use netsim::units::{Bandwidth, Duration, Time};
+
+fn host_cfg() -> HostConfig {
+    HostConfig {
+        cnp_interval: None,
+        ..HostConfig::default()
+    }
+}
+
+/// A chain H1 — S1 — S2 — H2 where the last hop is 10 G: backpressure
+/// must propagate hop by hop all the way to the sender, losslessly.
+#[test]
+fn pause_cascades_up_a_chain() {
+    let mut b = NetworkBuilder::new(1);
+    let s1 = b.switch(SwitchConfig::paper_default());
+    let s2 = b.switch(SwitchConfig::paper_default());
+    let h1 = b.host(host_cfg());
+    let h2 = b.host(host_cfg());
+    let fast = Bandwidth::gbps(40);
+    let slow = Bandwidth::gbps(10);
+    let d = Duration::from_micros(1);
+    b.connect(h1, s1, fast, d);
+    b.connect(s1, s2, fast, d);
+    b.connect(s2, h2, slow, d);
+    let mut net = b.build();
+    let f = net.add_flow(h1, h2, DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+    net.send_message(f, u64::MAX, Time::ZERO);
+    net.run_until(Time::from_millis(20));
+
+    let st1 = net.switch_stats(net.switch(netsim::event::NodeId(s1.0)).id);
+    let st2 = net.switch_stats(net.switch(netsim::event::NodeId(s2.0)).id);
+    // S2 (owning the slow egress) pauses S1; S1 in turn pauses the host.
+    assert!(st2.pause_tx > 0, "S2 paused its upstream");
+    assert!(st1.pause_rx > 0, "S1 received those pauses");
+    assert!(st1.pause_tx > 0, "S1 paused the sending host");
+    assert_eq!(st1.drops_pool + st2.drops_pool, 0);
+    assert_eq!(st1.drops_lossy + st2.drops_lossy, 0);
+    // The flow is throttled to the slow link's payload rate.
+    let gbps = net.flow_stats(f).delivered_bytes as f64 * 8.0 / 20e-3 / 1e9;
+    assert!(
+        (8.5..9.8).contains(&gbps),
+        "paced to ~10G × payload fraction: {gbps:.2}"
+    );
+}
+
+/// When the overload stops, RESUMEs release every hop and queued bytes
+/// drain completely.
+#[test]
+fn queues_drain_after_resume() {
+    let mut b = NetworkBuilder::new(2);
+    let s1 = b.switch(SwitchConfig::paper_default());
+    let s2 = b.switch(SwitchConfig::paper_default());
+    let h1 = b.host(host_cfg());
+    let h2 = b.host(host_cfg());
+    let d = Duration::from_micros(1);
+    b.connect(h1, s1, Bandwidth::gbps(40), d);
+    b.connect(s1, s2, Bandwidth::gbps(40), d);
+    b.connect(s2, h2, Bandwidth::gbps(10), d);
+    let mut net = b.build();
+    let f = net.add_flow(h1, h2, DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+    // A finite burst: 4 MB at 40G into a 10G sink.
+    net.send_message(f, 4_000_000, Time::ZERO);
+    net.run_until(Time::from_millis(30));
+    let st = net.flow_stats(f);
+    assert_eq!(st.delivered_bytes, 4_000_000, "everything arrives");
+    assert_eq!(st.completions.len(), 1);
+    // All buffers are empty again.
+    for id in [s1, s2] {
+        let sw = net.switch(id);
+        assert_eq!(sw.buffer.occupied(), 0, "switch {} drained", id.0);
+    }
+    let resumes = net.switch_stats(s1).resume_tx + net.switch_stats(s2).resume_tx;
+    assert!(resumes > 0, "RESUMEs were sent");
+}
+
+/// PFC is per priority class: congestion on class 3 pauses class 3 only;
+/// a class-4 flow sharing the same links keeps its full rate.
+#[test]
+fn priority_classes_are_isolated() {
+    let mut b = NetworkBuilder::new(3);
+    let s1 = b.switch(SwitchConfig::paper_default());
+    let s2 = b.switch(SwitchConfig::paper_default());
+    let d = Duration::from_micros(1);
+    let g40 = Bandwidth::gbps(40);
+    // Senders share the S1—S2 trunk; receivers hang off S2.
+    let senders: Vec<_> = (0..3).map(|_| b.host(host_cfg())).collect();
+    let victim_src = b.host(host_cfg());
+    let r_congested = b.host(host_cfg());
+    let r_victim = b.host(host_cfg());
+    b.connect(s1, s2, Bandwidth::gbps(100), d); // trunk is not the issue
+    for &h in senders.iter().chain([&victim_src]) {
+        b.connect(h, s1, g40, d);
+    }
+    b.connect(r_congested, s2, g40, d);
+    b.connect(r_victim, s2, g40, d);
+    let mut net = b.build();
+    // Class-3 incast (will be paused at S1's host ports eventually).
+    let mut incast = Vec::new();
+    for &h in &senders {
+        let f = net.add_flow(h, r_congested, 3, |l| Box::new(NoCc::new(l)));
+        net.send_message(f, u64::MAX, Time::ZERO);
+        incast.push(f);
+    }
+    // Class-4 victim to its own receiver.
+    let victim = net.add_flow(victim_src, r_victim, 4, |l| Box::new(NoCc::new(l)));
+    net.send_message(victim, u64::MAX, Time::ZERO);
+    net.run_until(Time::from_millis(20));
+
+    let incast_total: f64 = incast
+        .iter()
+        .map(|&f| net.flow_stats(f).delivered_bytes as f64 * 8.0 / 20e-3 / 1e9)
+        .sum();
+    let victim_gbps = net.flow_stats(victim).delivered_bytes as f64 * 8.0 / 20e-3 / 1e9;
+    assert!(incast_total < 40.0, "incast capped by its receiver");
+    assert!(
+        victim_gbps > 35.0,
+        "class-4 victim keeps line rate: {victim_gbps:.1}"
+    );
+    assert!(net.switch_stats(s2).pause_tx > 0, "class 3 was paused");
+}
+
+/// RESUME hysteresis: PAUSE and RESUME alternate rather than flapping
+/// per packet (2-MTU hysteresis).
+#[test]
+fn pause_resume_does_not_flap_per_packet() {
+    let mut b = NetworkBuilder::new(4);
+    let s1 = b.switch(SwitchConfig::paper_default());
+    let h1 = b.host(host_cfg());
+    let h2 = b.host(host_cfg());
+    let d = Duration::from_micros(1);
+    b.connect(h1, s1, Bandwidth::gbps(40), d);
+    b.connect(h2, s1, Bandwidth::gbps(10), d);
+    let mut net = b.build();
+    let f = net.add_flow(h1, h2, DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+    net.send_message(f, u64::MAX, Time::ZERO);
+    net.run_until(Time::from_millis(20));
+    let st = net.switch_stats(s1);
+    let delivered_pkts = net.flow_stats(f).delivered_pkts;
+    assert!(st.pause_tx > 0);
+    // Far fewer control frames than data packets (hysteresis works).
+    assert!(
+        st.pause_tx + st.resume_tx < delivered_pkts / 2,
+        "pause/resume {} + {} vs {} packets",
+        st.pause_tx,
+        st.resume_tx,
+        delivered_pkts
+    );
+}

@@ -1,0 +1,356 @@
+//! Flow-size and inter-arrival distributions.
+//!
+//! The paper replays "salient characteristics" (flow-size distribution) of
+//! a one-day trace from a 480-machine cloud-storage cluster. The trace is
+//! proprietary, so [`CloudStorageDist`] is a documented synthetic stand-in
+//! with the same qualitative shape the paper describes for such traffic:
+//! a large count of small control/metadata transfers, a body of medium
+//! reads/writes, and a heavy tail of multi-megabyte storage transfers that
+//! carries most of the bytes.
+
+use rand::Rng;
+
+/// Samples an exponential with the given mean via inverse transform.
+pub fn exponential<R: Rng>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = rng.random();
+    -(1.0 - u).ln() * mean
+}
+
+/// Samples a log-normal via Box–Muller.
+pub fn log_normal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mu + sigma * z).exp()
+}
+
+/// Samples a bounded Pareto on `[xm, cap]` with shape `alpha`.
+pub fn bounded_pareto<R: Rng>(rng: &mut R, xm: f64, alpha: f64, cap: f64) -> f64 {
+    let u: f64 = rng.random::<f64>().min(1.0 - 1e-12);
+    (xm / (1.0 - u).powf(1.0 / alpha)).min(cap)
+}
+
+/// The synthetic cloud-storage flow-size mix.
+#[derive(Debug, Clone, Copy)]
+pub struct CloudStorageDist {
+    /// Probability of a small control/metadata transfer.
+    pub p_small: f64,
+    /// Probability of a medium read/write.
+    pub p_medium: f64,
+    // Large storage transfers take the rest.
+}
+
+impl Default for CloudStorageDist {
+    fn default() -> CloudStorageDist {
+        CloudStorageDist {
+            p_small: 0.5,
+            p_medium: 0.3,
+        }
+    }
+}
+
+impl CloudStorageDist {
+    /// Samples one flow size in bytes.
+    ///
+    /// * small: log-normal centred ~4 KB (control RPCs),
+    /// * medium: log-normal centred ~128 KB (metadata, small objects),
+    /// * large: bounded Pareto 1 MB–64 MB, α = 1.2 (storage transfers —
+    ///   the paper's user transfers, cf. the 4 MB transfers of §2.2).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.random();
+        let bytes = if u < self.p_small {
+            log_normal(rng, (4096.0f64).ln(), 0.7)
+        } else if u < self.p_small + self.p_medium {
+            log_normal(rng, (131_072.0f64).ln(), 0.8)
+        } else {
+            bounded_pareto(rng, 1_048_576.0, 1.2, 67_108_864.0)
+        };
+        (bytes.max(64.0)) as u64
+    }
+
+    /// Empirical mean of the distribution (bytes), estimated with `n`
+    /// samples — used to convert a target load into an arrival rate.
+    pub fn mean_bytes<R: Rng>(&self, rng: &mut R, n: usize) -> f64 {
+        (0..n).map(|_| self.sample(rng) as f64).sum::<f64>() / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, 5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let mut r = rng();
+        assert!((0..10_000).all(|_| exponential(&mut r, 1.0) >= 0.0));
+    }
+
+    #[test]
+    fn log_normal_median() {
+        let mut r = rng();
+        let mut v: Vec<f64> = (0..100_001).map(|_| log_normal(&mut r, (1000.0f64).ln(), 0.5)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[v.len() / 2];
+        assert!((median / 1000.0 - 1.0).abs() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn pareto_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let x = bounded_pareto(&mut r, 1e6, 1.2, 64e6);
+            assert!((1e6..=64e6).contains(&x));
+        }
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        let mut r = rng();
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| bounded_pareto(&mut r, 1e6, 1.2, 64e6)).collect();
+        let above_10m = samples.iter().filter(|&&x| x > 10e6).count() as f64 / n as f64;
+        // α = 1.2 ⇒ P(X > 10·xm) ≈ 10^−1.2 ≈ 6.3%.
+        assert!((above_10m - 0.063).abs() < 0.01, "tail mass {above_10m}");
+    }
+
+    #[test]
+    fn mix_fractions() {
+        let d = CloudStorageDist::default();
+        let mut r = rng();
+        let n = 100_000;
+        let sizes: Vec<u64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let small = sizes.iter().filter(|&&s| s < 64_000).count() as f64 / n as f64;
+        let large = sizes.iter().filter(|&&s| s >= 1_000_000).count() as f64 / n as f64;
+        assert!(small > 0.4, "small fraction {small}");
+        assert!((0.1..0.35).contains(&large), "large fraction {large}");
+    }
+
+    #[test]
+    fn bytes_dominated_by_heavy_tail() {
+        let d = CloudStorageDist::default();
+        let mut r = rng();
+        let sizes: Vec<u64> = (0..100_000).map(|_| d.sample(&mut r)).collect();
+        let total: u64 = sizes.iter().sum();
+        let from_large: u64 = sizes.iter().filter(|&&s| s >= 1_000_000).sum();
+        assert!(
+            from_large as f64 / total as f64 > 0.8,
+            "storage transfers carry most bytes"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = CloudStorageDist::default();
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(9);
+            (0..100).map(|_| d.sample(&mut r)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(9);
+            (0..100).map(|_| d.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mean_estimate_is_finite_and_positive() {
+        let d = CloudStorageDist::default();
+        let mut r = rng();
+        let m = d.mean_bytes(&mut r, 10_000);
+        assert!(m > 100_000.0 && m.is_finite(), "mean {m}");
+    }
+}
+
+/// An empirical flow-size distribution loaded from a trace summary:
+/// `bytes,weight` CSV lines (weights need not be normalized). This is the
+/// interface for replaying *your own* trace's "salient characteristics"
+/// the way the paper replays its cluster trace.
+#[derive(Debug, Clone)]
+pub struct EmpiricalDist {
+    sizes: Vec<u64>,
+    cumulative: Vec<f64>,
+}
+
+impl EmpiricalDist {
+    /// Parses `bytes,weight` lines. Blank lines and `#` comments are
+    /// skipped. Errors on malformed rows or an empty table.
+    pub fn from_csv_str(csv: &str) -> Result<EmpiricalDist, String> {
+        let mut rows: Vec<(u64, f64)> = Vec::new();
+        for (ln, line) in csv.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split(',');
+            let bytes: u64 = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing bytes", ln + 1))?
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: bad bytes: {e}", ln + 1))?;
+            let weight: f64 = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing weight", ln + 1))?
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: bad weight: {e}", ln + 1))?;
+            if weight < 0.0 || !weight.is_finite() {
+                return Err(format!("line {}: weight must be finite and >= 0", ln + 1));
+            }
+            if bytes == 0 {
+                return Err(format!("line {}: zero-byte flows are not allowed", ln + 1));
+            }
+            if weight > 0.0 {
+                rows.push((bytes, weight));
+            }
+        }
+        if rows.is_empty() {
+            return Err("empty distribution".to_string());
+        }
+        let mut sizes = Vec::with_capacity(rows.len());
+        let mut cumulative = Vec::with_capacity(rows.len());
+        let mut acc = 0.0;
+        for (b, w) in rows {
+            acc += w;
+            sizes.push(b);
+            cumulative.push(acc);
+        }
+        Ok(EmpiricalDist { sizes, cumulative })
+    }
+
+    /// Loads from a file (same format).
+    pub fn from_file(path: &std::path::Path) -> Result<EmpiricalDist, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        EmpiricalDist::from_csv_str(&text)
+    }
+
+    /// Samples one flow size.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let total = *self.cumulative.last().expect("nonempty");
+        let u: f64 = rng.random::<f64>() * total;
+        let idx = self
+            .cumulative
+            .partition_point(|&c| c < u)
+            .min(self.sizes.len() - 1);
+        self.sizes[idx]
+    }
+
+    /// Weighted mean flow size in bytes.
+    pub fn mean_bytes(&self) -> f64 {
+        let total = *self.cumulative.last().expect("nonempty");
+        let mut prev = 0.0;
+        let mut acc = 0.0;
+        for (b, c) in self.sizes.iter().zip(&self.cumulative) {
+            acc += *b as f64 * (c - prev);
+            prev = *c;
+        }
+        acc / total
+    }
+}
+
+/// Any flow-size distribution usable by the traffic generators.
+#[derive(Debug, Clone)]
+pub enum SizeDist {
+    /// The built-in synthetic cloud-storage mix.
+    Cloud(CloudStorageDist),
+    /// An empirical (trace-derived) table.
+    Empirical(EmpiricalDist),
+}
+
+impl SizeDist {
+    /// Samples one flow size.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        match self {
+            SizeDist::Cloud(c) => c.sample(rng),
+            SizeDist::Empirical(e) => e.sample(rng),
+        }
+    }
+}
+
+impl Default for SizeDist {
+    fn default() -> SizeDist {
+        SizeDist::Cloud(CloudStorageDist::default())
+    }
+}
+
+#[cfg(test)]
+mod empirical_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const SAMPLE: &str = "\
+# bytes,weight — a toy storage trace summary
+4096,50
+131072,30
+4194304,20
+";
+
+    #[test]
+    fn parses_and_samples_in_proportion() {
+        let d = EmpiricalDist::from_csv_str(SAMPLE).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            match d.sample(&mut rng) {
+                4096 => counts[0] += 1,
+                131072 => counts[1] += 1,
+                4194304 => counts[2] += 1,
+                other => panic!("unexpected size {other}"),
+            }
+        }
+        assert!((counts[0] as f64 / n as f64 - 0.5).abs() < 0.01);
+        assert!((counts[1] as f64 / n as f64 - 0.3).abs() < 0.01);
+        assert!((counts[2] as f64 / n as f64 - 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn mean_matches_weights() {
+        let d = EmpiricalDist::from_csv_str(SAMPLE).unwrap();
+        let expect = 0.5 * 4096.0 + 0.3 * 131072.0 + 0.2 * 4194304.0;
+        assert!((d.mean_bytes() - expect).abs() < 1.0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(EmpiricalDist::from_csv_str("").is_err());
+        assert!(EmpiricalDist::from_csv_str("abc,1").is_err());
+        assert!(EmpiricalDist::from_csv_str("100,-1").is_err());
+        assert!(EmpiricalDist::from_csv_str("0,1").is_err());
+        assert!(EmpiricalDist::from_csv_str("100").is_err());
+        assert!(EmpiricalDist::from_csv_str("# only comments\n\n").is_err());
+    }
+
+    #[test]
+    fn zero_weight_rows_are_dropped() {
+        let d = EmpiricalDist::from_csv_str("10,0\n20,1\n").unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 20);
+        }
+    }
+
+    #[test]
+    fn size_dist_enum_dispatches() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cloud = SizeDist::default();
+        assert!(cloud.sample(&mut rng) > 0);
+        let emp = SizeDist::Empirical(EmpiricalDist::from_csv_str("77,1").unwrap());
+        assert_eq!(emp.sample(&mut rng), 77);
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # workloads — synthetic traffic for the evaluation (§6.2)
+//!
+//! The paper drives its benchmark from a proprietary cloud-storage trace
+//! by extracting "salient characteristics ... such as flow size
+//! distribution" and generating synthetic traffic to match. This crate
+//! does the same with a documented synthetic distribution:
+//!
+//! * [`dist`] — heavy-tailed cloud-storage flow sizes (log-normal body,
+//!   bounded-Pareto tail), exponential/Poisson helpers,
+//! * [`traffic`] — communicating user pairs with Poisson transfer
+//!   arrivals, and the incast (disk-rebuild) event generator.
+//!
+//! All generation is deterministic under a seed.
+
+pub mod dist;
+pub mod traffic;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::dist::{CloudStorageDist, EmpiricalDist, SizeDist};
+    pub use crate::traffic::{
+        flow_goodputs, poisson_arrivals, setup_incast, setup_user_traffic, transfer_goodputs,
+        UserPair, UserTrafficConfig,
+    };
+}

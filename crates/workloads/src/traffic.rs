@@ -1,0 +1,295 @@
+//! Traffic assembly on top of `netsim`: communicating user pairs with
+//! trace-like transfer sizes, and the incast (disk-rebuild) pattern of §6.2.
+
+use crate::dist::{exponential, SizeDist};
+use netsim::cc::CongestionControl;
+use netsim::event::NodeId;
+use netsim::network::Network;
+use netsim::packet::{FlowId, Priority};
+use netsim::units::{Bandwidth, Duration, Time};
+use rand::rngs::StdRng;
+use rand::seq::{IndexedRandom, SliceRandom};
+use rand::SeedableRng;
+
+/// A reusable congestion-control factory (one instance per flow).
+pub type CcFactory<'a> = &'a dyn Fn(Bandwidth) -> Box<dyn CongestionControl>;
+
+/// A communicating user pair and its flow.
+#[derive(Debug, Clone, Copy)]
+pub struct UserPair {
+    /// Sender.
+    pub src: NodeId,
+    /// Receiver.
+    pub dst: NodeId,
+    /// The flow carrying this pair's transfers.
+    pub flow: FlowId,
+    /// Number of transfers scheduled.
+    pub transfers: usize,
+}
+
+/// Configuration of the user-traffic generator.
+#[derive(Debug, Clone)]
+pub struct UserTrafficConfig {
+    /// Number of communicating pairs.
+    pub pairs: usize,
+    /// Traffic runs from time 0 until here.
+    pub duration: Duration,
+    /// Mean inter-arrival of transfers within a pair (open-loop Poisson;
+    /// the paper replays transfer sizes from its trace — we use Poisson
+    /// arrivals with trace-like sizes).
+    pub mean_interarrival: Duration,
+    /// Priority class of user traffic.
+    pub priority: Priority,
+    /// Flow-size distribution (synthetic or trace-derived).
+    pub sizes: SizeDist,
+}
+
+impl UserTrafficConfig {
+    /// The §6.2 benchmark default: transfers arriving every ~2 ms per
+    /// pair, cloud-storage sizes.
+    pub fn benchmark(pairs: usize, duration: Duration) -> UserTrafficConfig {
+        UserTrafficConfig {
+            pairs,
+            duration,
+            mean_interarrival: Duration::from_micros(2000),
+            priority: netsim::packet::DATA_PRIORITY,
+            sizes: SizeDist::default(),
+        }
+    }
+}
+
+/// Picks `pairs` random (src, dst) pairs among `hosts` (src ≠ dst) and
+/// schedules Poisson transfer arrivals on each. Returns the pairs.
+pub fn setup_user_traffic(
+    net: &mut Network,
+    hosts: &[NodeId],
+    cfg: &UserTrafficConfig,
+    cc: CcFactory,
+    seed: u64,
+) -> Vec<UserPair> {
+    assert!(hosts.len() >= 2, "need at least two hosts");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(cfg.pairs);
+    for _ in 0..cfg.pairs {
+        let src = *hosts.choose(&mut rng).expect("hosts nonempty");
+        let dst = loop {
+            let d = *hosts.choose(&mut rng).expect("hosts nonempty");
+            if d != src {
+                break d;
+            }
+        };
+        let flow = net.add_flow(src, dst, cfg.priority, |line| cc(line));
+        let mut t = 0.0f64;
+        let horizon = cfg.duration.as_secs_f64();
+        let mean = cfg.mean_interarrival.as_secs_f64();
+        let mut transfers = 0;
+        loop {
+            t += exponential(&mut rng, mean);
+            if t >= horizon {
+                break;
+            }
+            let bytes = cfg.sizes.sample(&mut rng);
+            net.send_message(flow, bytes, Time::from_secs_f64(t));
+            transfers += 1;
+        }
+        out.push(UserPair {
+            src,
+            dst,
+            flow,
+            transfers,
+        });
+    }
+    out
+}
+
+/// The §6.2 incast (disk-rebuild) event: `degree` senders each stream
+/// `bytes_per_sender` to `target`, starting at `start`. Senders are drawn
+/// from `candidates` excluding the target. Returns the incast flows.
+#[allow(clippy::too_many_arguments)]
+pub fn setup_incast(
+    net: &mut Network,
+    candidates: &[NodeId],
+    target: NodeId,
+    degree: usize,
+    bytes_per_sender: u64,
+    start: Time,
+    priority: Priority,
+    cc: CcFactory,
+    seed: u64,
+) -> Vec<FlowId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool: Vec<NodeId> = candidates.iter().copied().filter(|&h| h != target).collect();
+    assert!(
+        pool.len() >= degree,
+        "need {degree} distinct incast senders, have {}",
+        pool.len()
+    );
+    pool.shuffle(&mut rng);
+    pool.truncate(degree);
+    pool.iter()
+        .map(|&src| {
+            let flow = net.add_flow(src, target, priority, |line| cc(line));
+            net.send_message(flow, bytes_per_sender, start);
+            flow
+        })
+        .collect()
+}
+
+/// Per-transfer goodputs (Gbps) of a set of flows, from their completion
+/// records — the §6.2 user-flow metric.
+pub fn transfer_goodputs(net: &Network, flows: &[FlowId], min_bytes: u64) -> Vec<f64> {
+    let mut out = Vec::new();
+    for &f in flows {
+        for c in &net.flow_stats(f).completions {
+            if c.bytes >= min_bytes {
+                out.push(c.goodput_gbps());
+            }
+        }
+    }
+    out
+}
+
+/// Average receiver goodput (Gbps) of each flow over `[from, to]` — the
+/// §6.2 incast-flow metric (long-running flows that may not complete).
+pub fn flow_goodputs(net: &Network, flows: &[FlowId], from: Time, to: Time) -> Vec<f64> {
+    flows.iter().map(|&f| net.goodput_gbps(f, from, to)).collect()
+}
+
+/// Draws a random element (deterministic under seed); helper for
+/// experiment setup.
+pub fn pick_one<T: Copy>(items: &[T], seed: u64) -> T {
+    let mut rng = StdRng::seed_from_u64(seed);
+    *items.choose(&mut rng).expect("nonempty")
+}
+
+/// Poisson arrival times helper exposed for tests and custom generators.
+pub fn poisson_arrivals(seed: u64, mean: Duration, horizon: Duration) -> Vec<Time> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    let mut out = Vec::new();
+    loop {
+        t += exponential(&mut rng, mean.as_secs_f64());
+        if t >= horizon.as_secs_f64() {
+            return out;
+        }
+        out.push(Time::from_secs_f64(t));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::host::HostConfig;
+    use netsim::switch::SwitchConfig;
+    use netsim::topology::{star, LinkParams};
+
+    fn nocc() -> impl Fn(Bandwidth) -> Box<dyn CongestionControl> {
+        |line: Bandwidth| Box::new(netsim::cc::NoCc::new(line)) as Box<dyn CongestionControl>
+    }
+
+    #[test]
+    fn poisson_arrival_count_matches_rate() {
+        let arr = poisson_arrivals(5, Duration::from_micros(100), Duration::from_millis(100));
+        // Expect ~1000 arrivals.
+        assert!((800..1200).contains(&arr.len()), "{} arrivals", arr.len());
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]), "sorted");
+    }
+
+    #[test]
+    fn user_traffic_creates_pairs_and_messages() {
+        let mut s = star(
+            6,
+            LinkParams::default(),
+            HostConfig::default(),
+            SwitchConfig::paper_default(),
+            3,
+        );
+        let cfg = UserTrafficConfig::benchmark(4, Duration::from_millis(10));
+        let cc = nocc();
+        let pairs = setup_user_traffic(&mut s.net, &s.hosts.clone(), &cfg, &cc, 77);
+        assert_eq!(pairs.len(), 4);
+        for p in &pairs {
+            assert_ne!(p.src, p.dst);
+            assert!(p.transfers > 0, "pair scheduled transfers");
+        }
+        // Run and confirm transfers actually complete.
+        s.net.run_until(Time::from_millis(40));
+        let goodputs = transfer_goodputs(&s.net, &pairs.iter().map(|p| p.flow).collect::<Vec<_>>(), 0);
+        assert!(!goodputs.is_empty(), "some transfers completed");
+        assert!(goodputs.iter().all(|&g| g > 0.0));
+    }
+
+    #[test]
+    fn incast_selects_distinct_senders_excluding_target() {
+        let mut s = star(
+            10,
+            LinkParams::default(),
+            HostConfig::default(),
+            SwitchConfig::paper_default(),
+            3,
+        );
+        let hosts = s.hosts.clone();
+        let target = hosts[0];
+        let cc = nocc();
+        let flows = setup_incast(
+            &mut s.net,
+            &hosts,
+            target,
+            8,
+            1_000_000,
+            Time::ZERO,
+            netsim::packet::DATA_PRIORITY,
+            &cc,
+            11,
+        );
+        assert_eq!(flows.len(), 8);
+        s.net.run_until(Time::from_millis(20));
+        let total: u64 = flows.iter().map(|&f| s.net.flow_stats(f).delivered_bytes).sum();
+        assert_eq!(total, 8_000_000, "all rebuild bytes delivered");
+    }
+
+    #[test]
+    fn deterministic_pair_selection() {
+        let mk = || {
+            let mut s = star(
+                6,
+                LinkParams::default(),
+                HostConfig::default(),
+                SwitchConfig::paper_default(),
+                3,
+            );
+            let cfg = UserTrafficConfig::benchmark(3, Duration::from_millis(1));
+            let cc = nocc();
+            setup_user_traffic(&mut s.net, &s.hosts.clone(), &cfg, &cc, 42)
+                .iter()
+                .map(|p| (p.src.0, p.dst.0, p.transfers))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct incast senders")]
+    fn incast_panics_without_enough_senders() {
+        let mut s = star(
+            3,
+            LinkParams::default(),
+            HostConfig::default(),
+            SwitchConfig::paper_default(),
+            3,
+        );
+        let hosts = s.hosts.clone();
+        let cc = nocc();
+        let _ = setup_incast(
+            &mut s.net,
+            &hosts,
+            hosts[0],
+            5,
+            1000,
+            Time::ZERO,
+            3,
+            &cc,
+            1,
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Replaying your own trace and watching the fabric with the tracer.
+//!
+//! The paper drives its benchmark from a production trace's flow-size
+//! distribution. This example shows the same workflow with a user-supplied
+//! table (`bytes,weight` CSV — here inline), plus the packet tracer for
+//! observability: how often did switches mark, pause, or drop, and what
+//! did the NP actually emit?
+//!
+//! ```text
+//! cargo run --release --example trace_replay
+//! ```
+
+use dcqcn::prelude::*;
+use netsim::prelude::*;
+use netsim::topology::{clos_testbed, LinkParams};
+use netsim::trace::TraceKind;
+use workloads::prelude::*;
+use workloads::traffic::setup_user_traffic;
+
+/// A toy trace summary: mostly 8 KB RPCs, some 256 KB reads, a heavy
+/// 8 MB tail. Swap in `EmpiricalDist::from_file` for a real one.
+const TRACE: &str = "\
+# bytes,weight
+8192,60
+262144,30
+8388608,10
+";
+
+fn main() {
+    let params = DcqcnParams::paper();
+    let mut tb = clos_testbed(
+        5,
+        LinkParams::default(),
+        dcqcn_host_config(params),
+        SwitchConfig::paper_default().with_red(red_deployed()),
+        2026,
+    );
+    tb.net.enable_trace(2_000_000);
+
+    let hosts: Vec<NodeId> = tb.hosts.iter().flatten().copied().collect();
+    let dist = EmpiricalDist::from_csv_str(TRACE).expect("valid trace table");
+    println!(
+        "replaying trace-derived sizes (mean {:.0} KB) on the Figure 2 Clos",
+        dist.mean_bytes() / 1000.0
+    );
+
+    let cfg = UserTrafficConfig {
+        pairs: 24,
+        duration: Duration::from_millis(200),
+        mean_interarrival: Duration::from_micros(1500),
+        priority: DATA_PRIORITY,
+        sizes: SizeDist::Empirical(dist),
+    };
+    let cc = dcqcn::rp::dcqcn(params);
+    let pairs = setup_user_traffic(&mut tb.net, &hosts, &cfg, &cc, 11);
+    tb.net.run_until(Time::from_millis(250));
+
+    // Application view.
+    let flows: Vec<FlowId> = pairs.iter().map(|p| p.flow).collect();
+    let goodputs = workloads::traffic::transfer_goodputs(&tb.net, &flows, 1_000_000);
+    println!(
+        "large transfers: {} completed, median {:.2} Gbps, p10 {:.2} Gbps",
+        goodputs.len(),
+        median(&goodputs),
+        percentile(&goodputs, 10.0)
+    );
+
+    // Fabric view, from the tracer.
+    let t = tb.net.trace();
+    println!("fabric events (last {} retained):", t.len());
+    for kind in [
+        TraceKind::Delivered,
+        TraceKind::Marked,
+        TraceKind::CnpSent,
+        TraceKind::PauseSent,
+        TraceKind::Dropped,
+        TraceKind::Timeout,
+    ] {
+        println!("  {:?}: {}", kind, t.of_kind(kind).len());
+    }
+    // Which flow attracted the most marks?
+    let marks = t.of_kind(TraceKind::Marked);
+    if let Some(busiest) = flows.iter().max_by_key(|f| marks.iter().filter(|e| e.flow == **f).count()) {
+        let n = marks.iter().filter(|e| e.flow == *busiest).count();
+        println!("  most-marked flow: {busiest:?} with {n} marks");
+    }
+}

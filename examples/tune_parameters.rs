@@ -1,0 +1,80 @@
+//! The paper's tuning methodology as a workflow: evaluate a candidate
+//! DCQCN parameter set on the fluid model first (seconds), then validate
+//! the winner on the packet simulator (minutes on hardware, still fast
+//! here).
+//!
+//! ```text
+//! cargo run --release --example tune_parameters
+//! ```
+
+use dcqcn::prelude::*;
+use fluid::prelude::*;
+use netsim::prelude::*;
+use netsim::topology::{star, LinkParams};
+use netsim::units::Bandwidth;
+
+/// Candidate parameter sets to screen.
+fn candidates() -> Vec<(&'static str, DcqcnParams)> {
+    vec![
+        ("QCN-recommended (strawman)", DcqcnParams::strawman()),
+        (
+            "fast timer only",
+            DcqcnParams::strawman()
+                .with_byte_counter(10_000_000)
+                .with_timer(Duration::from_micros(55)),
+        ),
+        ("paper (Figure 14)", DcqcnParams::paper()),
+    ]
+}
+
+fn main() {
+    // Step 1: screen on the fluid model — two flows starting maximally
+    // unfair; a good configuration drives |R1 - R2| to zero quickly.
+    println!("step 1: fluid-model screening (two-flow convergence)\n");
+    let red = red_deployed();
+    let mut best: Option<(&str, DcqcnParams, f64)> = None;
+    for (name, params) in candidates() {
+        let (_, tail_diff) = two_flow_convergence(&params, &red, Bandwidth::gbps(40), 0.3);
+        println!("  {name:<28} tail |R1-R2| = {tail_diff:6.2} Gbps");
+        if best.as_ref().is_none_or(|(_, _, d)| tail_diff < *d) {
+            best = Some((name, params, tail_diff));
+        }
+    }
+    let (name, params, _) = best.expect("candidates nonempty");
+    println!("\nwinner: {name}\n");
+
+    // Step 2: confirm the fixed point is healthy (p* below P_max, queue
+    // comfortably under K_max).
+    let fp = solve(&FluidParams::from_protocol(&params, &red, Bandwidth::gbps(40), 1500), 2);
+    println!(
+        "step 2: fixed point at 2 flows: p* = {:.4}%, queue = {:.1} KB",
+        fp.p * 100.0,
+        fp.queue_pkts * 1.5
+    );
+
+    // Step 3: validate on the packet simulator.
+    println!("\nstep 3: packet-level validation (2:1 incast, 100 ms)");
+    let mut fabric = star(
+        3,
+        LinkParams::default(),
+        dcqcn_host_config(params),
+        SwitchConfig::paper_default().with_red(red),
+        1,
+    );
+    let r = fabric.hosts[2];
+    let flows = [
+        fabric.net.add_flow(fabric.hosts[0], r, DATA_PRIORITY, dcqcn(params)),
+        fabric.net.add_flow(fabric.hosts[1], r, DATA_PRIORITY, dcqcn(params)),
+    ];
+    for f in flows {
+        fabric.net.send_message(f, u64::MAX, Time::ZERO);
+    }
+    fabric.net.run_until(Time::from_millis(100));
+    for (i, f) in flows.iter().enumerate() {
+        println!(
+            "  flow {}: {:.2} Gbps",
+            i + 1,
+            fabric.net.flow_stats(*f).delivered_bytes as f64 * 8.0 / 0.1 / 1e9
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Cross-crate integration: the verbs API running DCQCN end to end.
+
+use netsim::topology::LinkParams;
+use netsim::units::Time;
+use roce::{CcMode, Rdma, RdmaConfig, WcStatus};
+
+/// An 8:1 incast of RDMA WRITEs through queue pairs: DCQCN shares the
+/// receiver fairly and every work request completes.
+#[test]
+fn write_incast_is_fair_through_the_verbs_api() {
+    let mut rdma = Rdma::star(9, LinkParams::default(), RdmaConfig::default(), 21);
+    let hosts = rdma.hosts().to_vec();
+    let target = hosts[8];
+    let qps: Vec<_> = (0..8).map(|i| rdma.create_qp(hosts[i], target)).collect();
+    for &qp in &qps {
+        rdma.post_write(qp, 20_000_000, Time::ZERO);
+    }
+    rdma.net.run_until(Time::from_millis(200));
+    let mut goodputs = Vec::new();
+    for &qp in &qps {
+        let wcs = rdma.poll_cq(qp);
+        assert_eq!(wcs.len(), 1, "every WR completed");
+        assert_eq!(wcs[0].status, WcStatus::Success);
+        goodputs.push(wcs[0].goodput_gbps());
+    }
+    let (min, max) = (
+        goodputs.iter().cloned().fold(f64::INFINITY, f64::min),
+        goodputs.iter().cloned().fold(0.0f64, f64::max),
+    );
+    assert!(min > 2.0, "everyone makes progress: {goodputs:?}");
+    assert!(max / min < 2.0, "roughly fair: {goodputs:?}");
+}
+
+/// READs pull in the opposite direction and complete fairly too.
+#[test]
+fn read_fan_in_through_the_verbs_api() {
+    let mut rdma = Rdma::star(5, LinkParams::default(), RdmaConfig::default(), 22);
+    let hosts = rdma.hosts().to_vec();
+    let initiator = hosts[4];
+    // The initiator READs from four servers: the bottleneck is the
+    // initiator's own downlink.
+    let qps: Vec<_> = (0..4).map(|i| rdma.create_qp(initiator, hosts[i])).collect();
+    for &qp in &qps {
+        rdma.post_read(qp, 10_000_000, Time::ZERO);
+    }
+    rdma.net.run_until(Time::from_millis(100));
+    let mut last_done = Time::ZERO;
+    for &qp in &qps {
+        let wcs = rdma.poll_cq(qp);
+        assert_eq!(wcs.len(), 1);
+        assert_eq!(wcs[0].status, WcStatus::Success);
+        last_done = last_done.max(wcs[0].completed);
+    }
+    // 40 MB through a 40 G downlink, minus the DCQCN convergence
+    // transient: comfortably under 25 ms.
+    assert!(
+        last_done < Time::from_millis(25),
+        "fan-in finished by {last_done}"
+    );
+}
+
+/// PFC-only mode works through the same API (and shows its unfairness).
+#[test]
+fn pfc_only_mode_also_runs() {
+    let mut rdma = Rdma::star(
+        5,
+        LinkParams::default(),
+        RdmaConfig {
+            cc: CcMode::None,
+            ..RdmaConfig::default()
+        },
+        23,
+    );
+    let hosts = rdma.hosts().to_vec();
+    let qps: Vec<_> = (0..4).map(|i| rdma.create_qp(hosts[i], hosts[4])).collect();
+    for &qp in &qps {
+        rdma.post_write(qp, 10_000_000, Time::ZERO);
+    }
+    rdma.net.run_until(Time::from_millis(100));
+    for &qp in &qps {
+        assert_eq!(rdma.poll_cq(qp).len(), 1, "lossless: still completes");
+    }
+}

@@ -1,0 +1,246 @@
+//! End-to-end transport (go-back-N) correctness: delivery accounting,
+//! message completion, loss recovery, retry exhaustion.
+
+use dcqcn::prelude::*;
+use netsim::prelude::*;
+use netsim::topology::{star, LinkParams};
+
+fn lossless_star(n: usize, seed: u64) -> netsim::topology::Star {
+    star(
+        n,
+        LinkParams::default(),
+        HostConfig {
+            cnp_interval: None,
+            ..HostConfig::default()
+        },
+        SwitchConfig::paper_default(),
+        seed,
+    )
+}
+
+/// Every message completes exactly once and delivered bytes equal the sum
+/// of message sizes.
+#[test]
+fn message_accounting_is_exact() {
+    let mut s = lossless_star(3, 1);
+    let f = s
+        .net
+        .add_flow(s.hosts[0], s.hosts[2], DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+    let sizes = [1u64, 100, 1436, 1437, 50_000, 1_000_000, 3];
+    let mut at = Time::ZERO;
+    for &b in &sizes {
+        s.net.send_message(f, b, at);
+        at += Duration::from_micros(500);
+    }
+    s.net.run_until(Time::from_millis(20));
+    let st = s.net.flow_stats(f);
+    assert_eq!(st.completions.len(), sizes.len());
+    assert_eq!(st.delivered_bytes, sizes.iter().sum::<u64>());
+    let completed: u64 = st.completions.iter().map(|c| c.bytes).sum();
+    assert_eq!(completed, sizes.iter().sum::<u64>());
+    assert_eq!(st.retx_pkts, 0, "no loss on a lossless fabric");
+    assert_eq!(st.timeouts, 0);
+}
+
+/// Sub-MTU messages are a single packet; exact-MTU boundaries don't
+/// produce empty packets.
+#[test]
+fn packetization_boundaries() {
+    let mut s = lossless_star(3, 1);
+    let mtu = HostConfig::default().mtu_payload;
+    let f = s
+        .net
+        .add_flow(s.hosts[0], s.hosts[2], DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+    for b in [1, mtu - 1, mtu, mtu + 1, 2 * mtu, 2 * mtu + 1] {
+        s.net.send_message(f, b, Time::ZERO);
+    }
+    s.net.run_until(Time::from_millis(5));
+    let st = s.net.flow_stats(f);
+    assert_eq!(st.completions.len(), 6);
+    // 1 + 1 + 1 + 2 + 2 + 3 packets.
+    assert_eq!(st.sent_pkts, 10);
+    assert_eq!(st.delivered_pkts, 10);
+}
+
+/// Bidirectional traffic between the same pair of hosts works (each host
+/// is sender of one flow and receiver of the other).
+#[test]
+fn bidirectional_flows() {
+    let mut s = lossless_star(3, 2);
+    let f_ab = s
+        .net
+        .add_flow(s.hosts[0], s.hosts[1], DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+    let f_ba = s
+        .net
+        .add_flow(s.hosts[1], s.hosts[0], DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+    s.net.send_message(f_ab, 5_000_000, Time::ZERO);
+    s.net.send_message(f_ba, 5_000_000, Time::ZERO);
+    s.net.run_until(Time::from_millis(10));
+    assert_eq!(s.net.flow_stats(f_ab).delivered_bytes, 5_000_000);
+    assert_eq!(s.net.flow_stats(f_ba).delivered_bytes, 5_000_000);
+}
+
+/// Many flows from one host share the NIC via round-robin and all make
+/// progress.
+#[test]
+fn nic_round_robin_is_fair() {
+    let mut s = lossless_star(3, 2);
+    let flows: Vec<FlowId> = (0..8)
+        .map(|_| {
+            s.net
+                .add_flow(s.hosts[0], s.hosts[2], DATA_PRIORITY, |l| Box::new(NoCc::new(l)))
+        })
+        .collect();
+    for &f in &flows {
+        s.net.send_message(f, u64::MAX, Time::ZERO);
+    }
+    s.net.run_until(Time::from_millis(10));
+    let goodputs: Vec<u64> = flows
+        .iter()
+        .map(|&f| s.net.flow_stats(f).delivered_bytes)
+        .collect();
+    let (min, max) = (
+        *goodputs.iter().min().unwrap(),
+        *goodputs.iter().max().unwrap(),
+    );
+    assert!(min > 0);
+    assert!(
+        max - min <= max / 10,
+        "round-robin shares the NIC evenly: {goodputs:?}"
+    );
+}
+
+/// NAK-driven go-back-N recovers from real drops (lossy fabric) with full
+/// in-order delivery.
+#[test]
+fn nak_recovery_delivers_everything() {
+    let params = DcqcnParams::paper();
+    let mut s = star(
+        9,
+        LinkParams::default(),
+        dcqcn_host_config(params),
+        SwitchConfig::paper_default()
+            .with_red(red_deployed())
+            .without_pfc(),
+        11,
+    );
+    let dst = s.hosts[8];
+    let flows: Vec<FlowId> = (0..8)
+        .map(|i| s.net.add_flow(s.hosts[i], dst, DATA_PRIORITY, dcqcn(params)))
+        .collect();
+    for &f in &flows {
+        s.net.send_message(f, 4_000_000, Time::ZERO);
+    }
+    s.net.run_until(Time::from_millis(200));
+    let total_retx: u64 = flows.iter().map(|&f| s.net.flow_stats(f).retx_pkts).sum();
+    assert!(total_retx > 0, "losses actually happened");
+    for &f in &flows {
+        let st = s.net.flow_stats(f);
+        assert_eq!(st.delivered_bytes, 4_000_000, "no bytes lost to the app");
+        assert_eq!(st.completions.len(), 1);
+        assert!(!st.aborted);
+    }
+}
+
+/// Timeout-only recovery (ConnectX-3 model) is strictly slower than
+/// NAK-based recovery under identical loss.
+#[test]
+fn timeout_only_recovery_is_slower() {
+    let run = |nack: bool| -> Time {
+        let params = DcqcnParams::paper();
+        let mut host = dcqcn_host_config(params);
+        host.nack_enabled = nack;
+        let mut s = star(
+            9,
+            LinkParams::default(),
+            host,
+            SwitchConfig::paper_default()
+                .with_red(red_deployed())
+                .without_pfc(),
+            11,
+        );
+        let dst = s.hosts[8];
+        let flows: Vec<FlowId> = (0..8)
+            .map(|i| s.net.add_flow(s.hosts[i], dst, DATA_PRIORITY, dcqcn(params)))
+            .collect();
+        for &f in &flows {
+            s.net.send_message(f, 2_000_000, Time::ZERO);
+        }
+        s.net.run_until(Time::from_millis(400));
+        flows
+            .iter()
+            .filter_map(|&f| s.net.flow_stats(f).completions.first().map(|c| c.at))
+            .max()
+            .unwrap_or(Time::NEVER)
+    };
+    let with_nak = run(true);
+    let without_nak = run(false);
+    assert!(
+        without_nak > with_nak,
+        "timeout-only last completion {without_nak} vs NAK {with_nak}"
+    );
+}
+
+/// With a zero retry budget and timeout-only recovery, the first loss
+/// burst tears QPs down (the mechanism behind the paper's "flows simply
+/// unable to recover").
+#[test]
+fn retry_exhaustion_kills_the_qp() {
+    let params = DcqcnParams::paper();
+    let mut host = dcqcn_host_config(params);
+    host.nack_enabled = false;
+    host.rto = Duration::from_micros(200); // far below the loss-burst scale
+    host.max_retries = 0;
+    let mut s = star(
+        9,
+        LinkParams::default(),
+        host,
+        SwitchConfig::paper_default()
+            .with_red(red_deployed())
+            .without_pfc(),
+        11,
+    );
+    let dst = s.hosts[8];
+    let flows: Vec<FlowId> = (0..8)
+        .map(|i| s.net.add_flow(s.hosts[i], dst, DATA_PRIORITY, dcqcn(params)))
+        .collect();
+    for &f in &flows {
+        s.net.send_message(f, 8_000_000, Time::ZERO);
+    }
+    s.net.run_until(Time::from_millis(100));
+    let aborted = flows
+        .iter()
+        .filter(|&&f| s.net.flow_stats(f).aborted)
+        .count();
+    assert!(aborted > 0, "some QPs exhausted their retry budget");
+}
+
+/// Flow-level goodput can never exceed the payload capacity of the
+/// bottleneck link.
+#[test]
+fn goodput_bounded_by_capacity() {
+    let mut s = lossless_star(4, 9);
+    let dst = s.hosts[3];
+    let flows: Vec<FlowId> = (0..3)
+        .map(|i| {
+            s.net
+                .add_flow(s.hosts[i], dst, DATA_PRIORITY, |l| Box::new(NoCc::new(l)))
+        })
+        .collect();
+    for &f in &flows {
+        s.net.send_message(f, u64::MAX, Time::ZERO);
+    }
+    let horizon = Time::from_millis(20);
+    s.net.run_until(horizon);
+    let total: u64 = flows
+        .iter()
+        .map(|&f| s.net.flow_stats(f).delivered_bytes)
+        .sum();
+    let payload_capacity =
+        40e9 / 8.0 * horizon.as_secs_f64() * (1436.0 / 1500.0);
+    assert!(
+        (total as f64) <= payload_capacity * 1.001,
+        "{total} bytes vs capacity {payload_capacity}"
+    );
+    assert!((total as f64) > payload_capacity * 0.95, "and uses it");
+}
