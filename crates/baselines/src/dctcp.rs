@@ -219,7 +219,12 @@ mod tests {
         let w0 = d.cwnd_bytes();
         // ACK a full window of unmarked data.
         d.on_ack(Time::ZERO, w0, (w0 / 1500) as u32, 0, None, &mut a);
-        assert!(d.cwnd_bytes() >= 2 * w0 - 1500, "cwnd {} < 2×{}", d.cwnd_bytes(), w0);
+        assert!(
+            d.cwnd_bytes() >= 2 * w0 - 1500,
+            "cwnd {} < 2×{}",
+            d.cwnd_bytes(),
+            w0
+        );
     }
 
     #[test]
@@ -247,7 +252,14 @@ mod tests {
         // Several fully marked windows: α → 1.
         for _ in 0..64 {
             let w = d.cwnd_bytes();
-            d.on_ack(Time::ZERO, w, (w / 1500).max(1) as u32, (w / 1500).max(1) as u32, None, &mut a);
+            d.on_ack(
+                Time::ZERO,
+                w,
+                (w / 1500).max(1) as u32,
+                (w / 1500).max(1) as u32,
+                None,
+                &mut a,
+            );
         }
         assert!(d.alpha() > 0.9, "alpha {}", d.alpha());
         // Then unmarked windows: α decays toward 0.
@@ -283,7 +295,14 @@ mod tests {
         // Saturate α first.
         for _ in 0..100 {
             let w = d.cwnd_bytes();
-            d.on_ack(Time::ZERO, w, (w / 1500).max(1) as u32, (w / 1500).max(1) as u32, None, &mut a);
+            d.on_ack(
+                Time::ZERO,
+                w,
+                (w / 1500).max(1) as u32,
+                (w / 1500).max(1) as u32,
+                None,
+                &mut a,
+            );
         }
         // With α ≈ 1 a marked window cuts ≈ 50%... but growth within the
         // window partially offsets; net effect must push cwnd to the floor.
@@ -311,7 +330,14 @@ mod tests {
         assert!(d.cwnd_bytes() <= DctcpParams::default_40g().max_cwnd_bytes);
         for _ in 0..1000 {
             let w = d.cwnd_bytes();
-            d.on_ack(Time::ZERO, w, (w / 1500).max(1) as u32, (w / 1500).max(1) as u32, None, &mut a);
+            d.on_ack(
+                Time::ZERO,
+                w,
+                (w / 1500).max(1) as u32,
+                (w / 1500).max(1) as u32,
+                None,
+                &mut a,
+            );
         }
         assert!(d.cwnd_bytes() >= 1500);
     }

@@ -132,7 +132,11 @@ pub fn throughput(stack: &StackProfile, machine: &Machine, msg_bytes: u64) -> Th
     let cpb = cycles_per_byte(stack, machine, msg_bytes);
     let link_bytes_per_sec = machine.link_gbps * 1e9 / 8.0;
     let budget = machine.cycle_budget();
-    let cpu_bound_bytes_per_sec = if cpb > 0.0 { budget / cpb } else { f64::INFINITY };
+    let cpu_bound_bytes_per_sec = if cpb > 0.0 {
+        budget / cpb
+    } else {
+        f64::INFINITY
+    };
     let achieved = link_bytes_per_sec.min(cpu_bound_bytes_per_sec);
     ThroughputPoint {
         msg_bytes,
@@ -189,7 +193,11 @@ mod tests {
         for &s in &FIG1_SIZES {
             let p = throughput(&rdma_client_stack(), &m, s);
             assert!(p.gbps > 39.0, "RDMA at {s}B: {}", p.gbps);
-            assert!(p.cpu_percent < 3.0, "RDMA CPU at {s}B: {:.2}%", p.cpu_percent);
+            assert!(
+                p.cpu_percent < 3.0,
+                "RDMA CPU at {s}B: {:.2}%",
+                p.cpu_percent
+            );
         }
     }
 
@@ -207,9 +215,18 @@ mod tests {
         let tcp = latency_us(&tcp_stack(), &m, 2048);
         let rw = latency_us(&rdma_client_stack(), &m, 2048);
         let send = latency_us(&rdma_send_stack(), &m, 2048);
-        assert!((tcp - 25.4).abs() < 1.0, "TCP 2KB: {tcp:.1} µs (paper 25.4)");
-        assert!((rw - 1.7).abs() < 0.3, "RDMA r/w 2KB: {rw:.2} µs (paper 1.7)");
-        assert!((send - 2.8).abs() < 0.5, "RDMA send 2KB: {send:.2} µs (paper 2.8)");
+        assert!(
+            (tcp - 25.4).abs() < 1.0,
+            "TCP 2KB: {tcp:.1} µs (paper 25.4)"
+        );
+        assert!(
+            (rw - 1.7).abs() < 0.3,
+            "RDMA r/w 2KB: {rw:.2} µs (paper 1.7)"
+        );
+        assert!(
+            (send - 2.8).abs() < 0.5,
+            "RDMA send 2KB: {send:.2} µs (paper 2.8)"
+        );
         assert!(tcp > 5.0 * send, "order-of-magnitude gap");
     }
 

@@ -19,10 +19,7 @@ fn bench_schedule_pop(c: &mut Criterion) {
                         let mut q = EventQueue::new();
                         let mut rng = SplitMix64::new(7);
                         for _ in 0..pending {
-                            q.schedule(
-                                Time::from_nanos(rng.next_u64() % 1_000_000),
-                                Event::Sample,
-                            );
+                            q.schedule(Time::from_nanos(rng.next_u64() % 1_000_000), Event::Sample);
                         }
                         (q, rng)
                     },
@@ -44,7 +41,6 @@ fn bench_schedule_pop(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Short measurement windows: these benches exist to track regressions,
 /// not to resolve nanosecond differences.

@@ -56,7 +56,6 @@ fn bench_clos(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Short measurement windows: these benches exist to track regressions,
 /// not to resolve nanosecond differences.
 fn quick() -> Criterion {

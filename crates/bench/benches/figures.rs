@@ -149,12 +149,8 @@ fn micro(c: &mut Criterion) {
     g.bench_function("fig13_param_validation_micro", |b| {
         b.iter(|| {
             let red = dcqcn::params::red_cutoff_strawman();
-            let (_, diff) = two_flow_convergence(
-                &DcqcnParams::strawman(),
-                &red,
-                Bandwidth::gbps(40),
-                0.02,
-            );
+            let (_, diff) =
+                two_flow_convergence(&DcqcnParams::strawman(), &red, Bandwidth::gbps(40), 0.02);
             black_box(diff)
         })
     });
@@ -179,7 +175,9 @@ fn micro(c: &mut Criterion) {
     };
 
     g.bench_function("fig15_pause_count_micro", |b| {
-        b.iter(|| black_box(benchmark_run(&micro_bench(CcChoice::None, true, false)).spine_pause_rx))
+        b.iter(|| {
+            black_box(benchmark_run(&micro_bench(CcChoice::None, true, false)).spine_pause_rx)
+        })
     });
 
     g.bench_function("fig16_benchmark_micro", |b| {
@@ -201,7 +199,9 @@ fn micro(c: &mut Criterion) {
     });
 
     g.bench_function("fig18_no_pfc_micro", |b| {
-        b.iter(|| black_box(benchmark_run(&micro_bench(CcChoice::dcqcn_paper(), false, false)).drops))
+        b.iter(|| {
+            black_box(benchmark_run(&micro_bench(CcChoice::dcqcn_paper(), false, false)).drops)
+        })
     });
 
     g.bench_function("fig19_queue_cdf_micro", |b| {
@@ -251,7 +251,6 @@ fn micro(c: &mut Criterion) {
 
     g.finish();
 }
-
 
 /// Short measurement windows: these benches exist to track regressions,
 /// not to resolve nanosecond differences.

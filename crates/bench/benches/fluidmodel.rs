@@ -34,7 +34,6 @@ fn bench_fixed_point(c: &mut Criterion) {
     });
 }
 
-
 /// Short measurement windows: these benches exist to track regressions,
 /// not to resolve nanosecond differences.
 fn quick() -> Criterion {

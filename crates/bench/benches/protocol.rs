@@ -96,7 +96,6 @@ fn bench_dctcp(c: &mut Criterion) {
     });
 }
 
-
 /// Short measurement windows: these benches exist to track regressions,
 /// not to resolve nanosecond differences.
 fn quick() -> Criterion {

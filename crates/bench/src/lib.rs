@@ -26,7 +26,10 @@ pub fn dcqcn_incast(n: usize, seed: u64) -> (Star, Vec<FlowId>) {
     );
     let dst = s.hosts[n];
     let flows: Vec<FlowId> = (0..n)
-        .map(|i| s.net.add_flow(s.hosts[i], dst, DATA_PRIORITY, dcqcn(params)))
+        .map(|i| {
+            s.net
+                .add_flow(s.hosts[i], dst, DATA_PRIORITY, dcqcn(params))
+        })
         .collect();
     for &f in &flows {
         s.net.send_message(f, u64::MAX, Time::ZERO);

@@ -1,0 +1,366 @@
+#![warn(missing_docs)]
+
+//! # criterion (offline shim)
+//!
+//! The container has no crates.io access, so the real `criterion` cannot
+//! be fetched. This crate mirrors the subset of its API the `bench` crate
+//! uses — `Criterion`, benchmark groups, `iter`/`iter_batched`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros — over a simple wall-clock harness.
+//!
+//! Reported numbers are `[min median max]` per-iteration times across
+//! `sample_size` samples, plus elements/sec when a throughput is set. No
+//! statistical outlier analysis, no HTML reports — just enough to track
+//! hot-path regressions offline.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    cfg: Config,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            cfg: Config {
+                warm_up: Duration::from_millis(300),
+                measurement: Duration::from_secs(1),
+                sample_size: 10,
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up time before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.cfg.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.cfg.measurement = d;
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.cfg.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            cfg: self.cfg,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.cfg, None, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cfg: Config,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, self.cfg, self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_bench(&full, self.cfg, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op beyond matching criterion's API).
+    pub fn finish(self) {}
+}
+
+/// Identifies a parameterized benchmark, e.g. `churn/1024`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter into an id.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements (e.g. events).
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; the shim treats all variants alike.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Passed to the benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    mode: Mode,
+    /// Accumulated (total time, iterations) per sample.
+    samples: Vec<(Duration, u64)>,
+}
+
+enum Mode {
+    /// Estimate iteration count, warm up.
+    Calibrate {
+        budget: Duration,
+        estimated: Option<u64>,
+    },
+    /// Run `iters` iterations and record the total.
+    Measure { iters: u64 },
+}
+
+impl Bencher {
+    /// Times `f`, called in a loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Calibrate {
+                budget,
+                ref mut estimated,
+            } => {
+                let start = Instant::now();
+                let mut n = 0u64;
+                while start.elapsed() < budget || n == 0 {
+                    std::hint::black_box(f());
+                    n += 1;
+                }
+                *estimated = Some(n);
+            }
+            Mode::Measure { iters } => {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                self.samples.push((start.elapsed(), iters));
+            }
+        }
+    }
+
+    /// Times `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Calibrate {
+                budget,
+                ref mut estimated,
+            } => {
+                let mut n = 0u64;
+                let mut spent = Duration::ZERO;
+                while spent < budget || n == 0 {
+                    let input = setup();
+                    let t = Instant::now();
+                    std::hint::black_box(routine(input));
+                    spent += t.elapsed();
+                    n += 1;
+                }
+                *estimated = Some(n);
+            }
+            Mode::Measure { iters } => {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let input = setup();
+                    let t = Instant::now();
+                    std::hint::black_box(routine(input));
+                    total += t.elapsed();
+                }
+                self.samples.push((total, iters));
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, cfg: Config, tp: Option<Throughput>, mut f: F) {
+    // Calibration pass doubles as warm-up: run for warm_up time, counting
+    // how many iterations fit.
+    let mut b = Bencher {
+        mode: Mode::Calibrate {
+            budget: cfg.warm_up,
+            estimated: None,
+        },
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    let warm_iters = match b.mode {
+        Mode::Calibrate { estimated, .. } => estimated.unwrap_or(1).max(1),
+        Mode::Measure { .. } => unreachable!(),
+    };
+    // Split the measurement budget across samples.
+    let per_sample = (warm_iters as f64 * cfg.measurement.as_secs_f64()
+        / cfg.warm_up.as_secs_f64().max(1e-9)
+        / cfg.sample_size as f64)
+        .ceil()
+        .max(1.0) as u64;
+
+    let mut b = Bencher {
+        mode: Mode::Measure { iters: per_sample },
+        samples: Vec::with_capacity(cfg.sample_size),
+    };
+    for _ in 0..cfg.sample_size {
+        f(&mut b);
+    }
+
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|(d, n)| d.as_secs_f64() / (*n).max(1) as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = per_iter.first().copied().unwrap_or(0.0);
+    let med = per_iter[per_iter.len() / 2];
+    let max = per_iter.last().copied().unwrap_or(0.0);
+    println!(
+        "{name:<40} time: [{} {} {}]",
+        fmt_time(min),
+        fmt_time(med),
+        fmt_time(max)
+    );
+    if let Some(tp) = tp {
+        let (work, unit) = match tp {
+            Throughput::Elements(n) => (n as f64, "elem/s"),
+            Throughput::Bytes(n) => (n as f64, "B/s"),
+        };
+        if med > 0.0 {
+            println!("{:<40} thrpt: {:.3e} {unit}", "", work / med);
+        }
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.2} s", secs)
+    }
+}
+
+/// Declares a benchmark entry point: either
+/// `criterion_group!(name, target, ...)` or the
+/// `criterion_group! { name = ...; config = ...; targets = ... }` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = ::std::default::Default::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(3)
+    }
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = tiny();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_and_batched_iteration() {
+        let mut c = tiny();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter_batched(
+                || vec![n; 8],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

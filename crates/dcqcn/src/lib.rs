@@ -69,9 +69,7 @@ pub fn dcqcn_host_config(params: params::DcqcnParams) -> HostConfig {
 pub mod prelude {
     pub use crate::dcqcn_host_config;
     pub use crate::np::NpState;
-    pub use crate::params::{
-        red_cutoff_dctcp_40g, red_cutoff_strawman, red_deployed, DcqcnParams,
-    };
+    pub use crate::params::{red_cutoff_dctcp_40g, red_cutoff_strawman, red_deployed, DcqcnParams};
     pub use crate::rp::{dcqcn, DcqcnRp};
     pub use crate::thresholds;
 }

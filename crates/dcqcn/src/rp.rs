@@ -329,7 +329,10 @@ mod tests {
         assert_eq!(r.rate(), Bandwidth::gbps(40));
         assert_eq!(r.alpha(), 1.0, "released state starts fresh");
         // Timers disarmed at release.
-        assert_eq!(a.timers.last().map(|&(id, at)| (id, at)).unwrap().1, Time::NEVER);
+        assert_eq!(
+            a.timers.last().map(|&(id, at)| (id, at)).unwrap().1,
+            Time::NEVER
+        );
     }
 
     #[test]
@@ -443,7 +446,7 @@ mod proptests {
             let mut now = Time::ZERO;
             let mut a = CcActions::default();
             for e in events {
-                now = now + Duration::from_micros(13);
+                now += Duration::from_micros(13);
                 match e {
                     0 => rp.on_cnp(now, &mut a),
                     1 => rp.on_timer(now, TIMER_RATE, &mut a),
@@ -473,11 +476,11 @@ mod proptests {
             let mut now = Time::ZERO;
             rp.on_cnp(now, &mut a);
             for _ in 0..pre_timers {
-                now = now + Duration::from_micros(55);
+                now += Duration::from_micros(55);
                 rp.on_timer(now, TIMER_RATE, &mut a);
             }
             let before = rp.rate();
-            now = now + Duration::from_micros(50);
+            now += Duration::from_micros(50);
             rp.on_cnp(now, &mut a);
             prop_assert!(rp.rate() <= before);
             prop_assert!(rp.rate() >= p.min_rate || rp.rate() == before);

@@ -133,15 +133,8 @@ mod tests {
     fn headroom_formula_magnitude() {
         // At 40 Gbps with a 1.5 µs one-way cable + processing delay the
         // worst case is ~ the paper's 22.4 KB figure.
-        let h = headroom_bytes(
-            Bandwidth::gbps(40),
-            Duration::from_nanos(1900),
-            1500,
-        );
-        assert!(
-            (20_000..25_000).contains(&h),
-            "headroom = {h} bytes"
-        );
+        let h = headroom_bytes(Bandwidth::gbps(40), Duration::from_nanos(1900), 1500);
+        assert!((20_000..25_000).contains(&h), "headroom = {h} bytes");
         // Faster links need more headroom.
         let h100 = headroom_bytes(Bandwidth::gbps(100), Duration::from_nanos(1900), 1500);
         assert!(h100 > h);

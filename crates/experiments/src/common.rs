@@ -144,7 +144,9 @@ pub fn banner(id: &str, title: &str) {
     println!("=== {id}: {title} ===");
 }
 
-/// Formats min/median/max of a sample set.
+/// Formats min/median/max of a sample set. The median is
+/// [`netsim::stats::median`] — the workspace-wide nearest-rank definition
+/// — so tables agree with every percentile the experiments print.
 pub fn mmm(values: &[f64]) -> String {
     if values.is_empty() {
         return "(no samples)".to_string();
@@ -154,7 +156,7 @@ pub fn mmm(values: &[f64]) -> String {
     format!(
         "min={:6.2} med={:6.2} max={:6.2}",
         v[0],
-        v[v.len() / 2],
+        netsim::stats::median(&v),
         v[v.len() - 1]
     )
 }
@@ -241,5 +243,9 @@ mod tests {
         assert!(stddev(&[2.0, 2.0, 2.0]) < 1e-12);
         assert_eq!(mean(&[]), 0.0);
         assert!(mmm(&[3.0, 1.0, 2.0]).contains("med=  2.00"));
+        // Even sample count: mmm's median is the shared nearest-rank
+        // definition (lower middle), not the old upper-middle v[len/2].
+        assert!(mmm(&[4.0, 3.0, 2.0, 1.0]).contains("med=  2.00"));
+        assert_eq!(mmm(&[]), "(no samples)");
     }
 }

@@ -2,6 +2,7 @@
 //! out and the §5.2/§7 claims that have no figure of their own.
 
 use crate::common::{banner, mean, CcChoice, RunScale};
+use crate::runner::par_map;
 use dcqcn::params::DcqcnParams;
 use netsim::buffer::PfcThreshold;
 use netsim::event::PortId;
@@ -13,65 +14,69 @@ use netsim::topology::{star, LinkParams};
 /// §5.2's closing claim: the deployed R_AI copes with 16:1 incast;
 /// halving R_AI trades convergence speed for stability at 32:1.
 pub fn rai_scaling(quick: bool) {
-    banner("ext-rai", "R_AI vs incast depth (§5.2: halve R_AI for 32:1)");
+    banner(
+        "ext-rai",
+        "R_AI vs incast depth (§5.2: halve R_AI for 32:1)",
+    );
     let scale = RunScale { quick };
     let duration = scale.dur(150, 400);
     println!(
         "{:>8} {:>8} | {:>10} {:>10} {:>10}",
         "incast", "R_AI", "total Gbps", "q p50 KB", "q p99 KB"
     );
-    for &k in &[8usize, 16, 32] {
-        for &(rai_mbps, label) in &[(40u64, "40M"), (20, "20M")] {
-            let params = DcqcnParams {
-                rai: Bandwidth::mbps(rai_mbps),
-                ..DcqcnParams::paper()
-            };
-            let cc = CcChoice::Dcqcn(params);
-            let mut s = star(
-                k + 1,
-                LinkParams::default(),
-                cc.host_config(),
-                cc.switch_config(true, false),
-                5,
-            );
-            let dst = s.hosts[k];
-            let f = cc.factory();
-            let flows: Vec<FlowId> = (0..k)
-                .map(|i| s.net.add_flow(s.hosts[i], dst, DATA_PRIORITY, &f))
-                .collect();
-            for &fl in &flows {
-                s.net.send_message(fl, u64::MAX, Time::ZERO);
-            }
-            let port = PortId(k);
-            s.net.enable_sampling(
-                Duration::from_micros(20),
-                SamplerConfig {
-                    all_flows: true,
-                    queues: vec![(s.switch, port)],
-                    ..SamplerConfig::default()
-                },
-            );
-            let end = Time::ZERO + duration;
-            s.net.run_until(end);
-            let from = Time::ZERO + duration / 2;
-            let total: f64 = flows.iter().map(|&fl| s.net.goodput_gbps(fl, from, end)).sum();
-            let qs = &s.net.samples.queues[&(s.switch, port)];
-            let tail: Vec<f64> = qs
-                .times
-                .iter()
-                .zip(&qs.values)
-                .filter(|(t, _)| *t >= &from)
-                .map(|(_, v)| v / 1000.0)
-                .collect();
-            println!(
-                "{:>7}: {:>8} | {:>10.2} {:>10.1} {:>10.1}",
-                k,
-                label,
-                total,
-                percentile(&tail, 50.0),
-                percentile(&tail, 99.0)
-            );
+    let grid: Vec<(usize, u64, &str)> = [8usize, 16, 32]
+        .iter()
+        .flat_map(|&k| [(k, 40u64, "40M"), (k, 20, "20M")])
+        .collect();
+    let results = par_map(&grid, |&(k, rai_mbps, _)| {
+        let params = DcqcnParams {
+            rai: Bandwidth::mbps(rai_mbps),
+            ..DcqcnParams::paper()
+        };
+        let cc = CcChoice::Dcqcn(params);
+        let mut s = star(
+            k + 1,
+            LinkParams::default(),
+            cc.host_config(),
+            cc.switch_config(true, false),
+            5,
+        );
+        let dst = s.hosts[k];
+        let f = cc.factory();
+        let flows: Vec<FlowId> = (0..k)
+            .map(|i| s.net.add_flow(s.hosts[i], dst, DATA_PRIORITY, &f))
+            .collect();
+        for &fl in &flows {
+            s.net.send_message(fl, u64::MAX, Time::ZERO);
         }
+        let port = PortId(k);
+        s.net.enable_sampling(
+            Duration::from_micros(20),
+            SamplerConfig {
+                all_flows: true,
+                queues: vec![(s.switch, port)],
+                ..SamplerConfig::default()
+            },
+        );
+        let end = Time::ZERO + duration;
+        s.net.run_until(end);
+        let from = Time::ZERO + duration / 2;
+        let total: f64 = flows
+            .iter()
+            .map(|&fl| s.net.goodput_gbps(fl, from, end))
+            .sum();
+        let qs = &s.net.samples.queues[&(s.switch, port)];
+        let tail: Vec<f64> = qs
+            .times
+            .iter()
+            .zip(&qs.values)
+            .filter(|(t, _)| *t >= &from)
+            .map(|(_, v)| v / 1000.0)
+            .collect();
+        (total, percentile(&tail, 50.0), percentile(&tail, 99.0))
+    });
+    for (&(k, _, label), &(total, p50, p99)) in grid.iter().zip(&results) {
+        println!("{k:>7}: {label:>8} | {total:>10.2} {p50:>10.1} {p99:>10.1}");
     }
     println!("smaller R_AI lowers the queue tail at deep incast, at the cost of");
     println!("slower recovery (the paper's 'acceptable compromise').");
@@ -93,7 +98,7 @@ pub fn beta_ablation(quick: bool) {
         "{:<17} | {:>9} {:>9} {:>10} {:>7}",
         "threshold", "pause_tx", "resume_tx", "total Gbps", "drops"
     );
-    for (label, threshold) in configs {
+    let results = par_map(&configs, |&(_, threshold)| {
         let mut sw = SwitchConfig::paper_default();
         sw.buffer.threshold = threshold;
         let mut s = star(
@@ -108,7 +113,10 @@ pub fn beta_ablation(quick: bool) {
         );
         let dst = s.hosts[8];
         let flows: Vec<FlowId> = (0..8)
-            .map(|i| s.net.add_flow(s.hosts[i], dst, DATA_PRIORITY, |l| Box::new(NoCc::new(l))))
+            .map(|i| {
+                s.net
+                    .add_flow(s.hosts[i], dst, DATA_PRIORITY, |l| Box::new(NoCc::new(l)))
+            })
             .collect();
         for &fl in &flows {
             s.net.send_message(fl, u64::MAX, Time::ZERO);
@@ -118,16 +126,19 @@ pub fn beta_ablation(quick: bool) {
         let st = s.net.switch_stats(s.switch);
         let total: f64 = flows
             .iter()
-            .map(|&fl| s.net.flow_stats(fl).delivered_bytes as f64 * 8.0 / duration.as_secs_f64() / 1e9)
+            .map(|&fl| {
+                s.net.flow_stats(fl).delivered_bytes as f64 * 8.0 / duration.as_secs_f64() / 1e9
+            })
             .sum();
-        println!(
-            "{:<17} | {:>9} {:>9} {:>10.2} {:>7}",
-            label,
+        (
             st.pause_tx,
             st.resume_tx,
             total,
-            st.drops_pool + st.drops_lossy
-        );
+            st.drops_pool + st.drops_lossy,
+        )
+    });
+    for ((label, _), &(pause_tx, resume_tx, total, drops)) in configs.iter().zip(&results) {
+        println!("{label:<17} | {pause_tx:>9} {resume_tx:>9} {total:>10.2} {drops:>7}");
     }
     println!("larger beta defers the first pause (spending more of the shared");
     println!("buffer first); at saturation the pause/resume churn rises with the");
@@ -168,12 +179,14 @@ pub fn priority_isolation(quick: bool) {
         .map(|&fl| s.net.flow_stats(fl).delivered_bytes as f64 * 8.0 / secs / 1e9)
         .collect();
     let victim_rate = s.net.flow_stats(victim).delivered_bytes as f64 * 8.0 / secs / 1e9;
-    println!("class-3 incast flows: {} (mean {:.2} Gbps)", incast.len(), mean(&incast_rates));
+    println!(
+        "class-3 incast flows: {} (mean {:.2} Gbps)",
+        incast.len(),
+        mean(&incast_rates)
+    );
     println!("class-4 bystander:    {victim_rate:.2} Gbps (line rate ≈ 38.3)");
     println!("PAUSEs on class 3 never touch class 4.");
 }
-
-
 
 /// §3.3: "DCQCN is not particularly sensitive to congestion on the
 /// reverse path, as the send rate does not depend on accurate RTT
@@ -182,17 +195,21 @@ pub fn priority_isolation(quick: bool) {
 /// inflated RTT and throttles; DCQCN does not.
 pub fn reverse_path_sensitivity(quick: bool) {
     use baselines::timely::TimelyParams;
-    banner("ext-timely", "reverse-path congestion: DCQCN vs TIMELY (§3.3)");
+    banner(
+        "ext-timely",
+        "reverse-path congestion: DCQCN vs TIMELY (§3.3)",
+    );
     let scale = RunScale { quick };
     let duration = scale.dur(60, 150);
     println!(
         "{:<8} | {:>14} {:>14}",
         "scheme", "before (Gbps)", "during (Gbps)"
     );
-    for cc in [
+    let ccs = [
         CcChoice::dcqcn_paper(),
         CcChoice::Timely(TimelyParams::default_40g()),
-    ] {
+    ];
+    let results = par_map(&ccs, |&cc| {
         let mut s = star(
             6,
             LinkParams::default(),
@@ -209,9 +226,9 @@ pub fn reverse_path_sensitivity(quick: bool) {
         // class for TIMELY) now queue behind 3:1 incast at H0's downlink.
         let t_rev = Time::ZERO + duration / 2;
         for i in 2..5 {
-            let rf = s
-                .net
-                .add_flow(s.hosts[i], s.hosts[0], DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+            let rf = s.net.add_flow(s.hosts[i], s.hosts[0], DATA_PRIORITY, |l| {
+                Box::new(NoCc::new(l))
+            });
             s.net.send_message(rf, u64::MAX, t_rev);
         }
         s.net.enable_sampling(
@@ -225,6 +242,9 @@ pub fn reverse_path_sensitivity(quick: bool) {
         s.net.run_until(end);
         let before = s.net.goodput_gbps(fwd, Time::ZERO + duration / 4, t_rev);
         let during = s.net.goodput_gbps(fwd, t_rev + duration / 10, end);
+        (before, during)
+    });
+    for (cc, &(before, during)) in ccs.iter().zip(&results) {
         println!("{:<8} | {:>14.2} {:>14.2}", cc.label(), before, during);
     }
     println!("the forward path never congests; only the ACK return path does.");
@@ -237,38 +257,47 @@ pub fn reverse_path_sensitivity(quick: bool) {
 /// completion time on an idle fabric.
 pub fn fast_start(quick: bool) {
     use baselines::dctcp::DctcpParams;
-    banner("ext-start", "hyper-fast start: transfer latency on an idle fabric");
+    banner(
+        "ext-start",
+        "hyper-fast start: transfer latency on an idle fabric",
+    );
     let _ = quick;
     println!(
         "{:>9} | {:>13} {:>13} | {:>7}",
         "size", "DCQCN (µs)", "DCTCP (µs)", "ratio"
     );
-    for bytes in [4_000u64, 16_000, 64_000, 256_000, 1_000_000] {
-        let mut times = Vec::new();
-        for cc in [
-            CcChoice::dcqcn_paper(),
-            CcChoice::Dctcp(DctcpParams::default_40g()),
-        ] {
-            let mut s = star(
-                2,
-                LinkParams::default(),
-                cc.host_config(),
-                cc.switch_config(true, false),
-                3,
-            );
-            let f = cc.factory();
-            let fl = s.net.add_flow(s.hosts[0], s.hosts[1], DATA_PRIORITY, &f);
-            s.net.send_message(fl, bytes, Time::ZERO);
-            s.net.run_until(Time::from_millis(100));
-            let c = s.net.flow_stats(fl).completions[0];
-            times.push((c.at - c.started).as_micros_f64());
-        }
+    let sizes = [4_000u64, 16_000, 64_000, 256_000, 1_000_000];
+    let ccs = [
+        CcChoice::dcqcn_paper(),
+        CcChoice::Dctcp(DctcpParams::default_40g()),
+    ];
+    let grid: Vec<(u64, CcChoice)> = sizes
+        .iter()
+        .flat_map(|&bytes| ccs.iter().map(move |&cc| (bytes, cc)))
+        .collect();
+    let times = par_map(&grid, |&(bytes, cc)| {
+        let mut s = star(
+            2,
+            LinkParams::default(),
+            cc.host_config(),
+            cc.switch_config(true, false),
+            3,
+        );
+        let f = cc.factory();
+        let fl = s.net.add_flow(s.hosts[0], s.hosts[1], DATA_PRIORITY, &f);
+        s.net.send_message(fl, bytes, Time::ZERO);
+        s.net.run_until(Time::from_millis(100));
+        let c = s.net.flow_stats(fl).completions[0];
+        (c.at - c.started).as_micros_f64()
+    });
+    for (i, &bytes) in sizes.iter().enumerate() {
+        let (dcqcn_us, dctcp_us) = (times[2 * i], times[2 * i + 1]);
         println!(
             "{:>8}K | {:>13.1} {:>13.1} | {:>6.2}x",
             bytes as f64 / 1000.0,
-            times[0],
-            times[1],
-            times[1] / times[0]
+            dcqcn_us,
+            dctcp_us,
+            dctcp_us / dcqcn_us
         );
     }
     println!("DCQCN starts at line rate; DCTCP pays a few RTTs of slow start on");
@@ -277,21 +306,24 @@ pub fn fast_start(quick: bool) {
     println!("paper's case against DCTCP/iWARP for bursty storage workloads.");
 }
 
-
 /// Scalability beyond the paper's 20-host testbed: DCQCN on a k=4 fat
 /// tree under random-permutation traffic (every host sends greedily to a
 /// distinct host). PFC-only suffers the same congestion spreading; DCQCN
 /// keeps the fabric clean and fair.
 pub fn fat_tree_scale(quick: bool) {
     use netsim::topology::fat_tree;
-    banner("ext-fattree", "DCQCN on a k=4 fat tree (16 hosts), permutation traffic");
+    banner(
+        "ext-fattree",
+        "DCQCN on a k=4 fat tree (16 hosts), permutation traffic",
+    );
     let scale = RunScale { quick };
     let duration = scale.dur(60, 200);
     println!(
         "{:<9} | {:>11} {:>9} {:>9} | {:>9} {:>7}",
         "scheme", "total Gbps", "min flow", "max flow", "pauses", "drops"
     );
-    for cc in [CcChoice::None, CcChoice::dcqcn_paper()] {
+    let ccs = [CcChoice::None, CcChoice::dcqcn_paper()];
+    let results = par_map(&ccs, |&cc| {
         let mut ft = fat_tree(
             4,
             LinkParams::default(),
@@ -321,7 +353,10 @@ pub fn fat_tree_scale(quick: bool) {
         let end = Time::ZERO + duration;
         ft.net.run_until(end);
         let from = Time::ZERO + duration / 2;
-        let rates: Vec<f64> = flows.iter().map(|&fl| ft.net.goodput_gbps(fl, from, end)).collect();
+        let rates: Vec<f64> = flows
+            .iter()
+            .map(|&fl| ft.net.goodput_gbps(fl, from, end))
+            .collect();
         let total: f64 = rates.iter().sum();
         let (mn, mx) = (
             rates.iter().cloned().fold(f64::INFINITY, f64::min),
@@ -334,6 +369,9 @@ pub fn fat_tree_scale(quick: bool) {
             pauses += st.pause_rx;
             drops += st.drops_pool + st.drops_lossy;
         }
+        (total, mn, mx, pauses, drops)
+    });
+    for (cc, &(total, mn, mx, pauses, drops)) in ccs.iter().zip(&results) {
         println!(
             "{:<9} | {:>11.1} {:>9.2} {:>9.2} | {:>9} {:>7}",
             cc.label(),
@@ -349,13 +387,15 @@ pub fn fat_tree_scale(quick: bool) {
     println!("without PAUSE storms.");
 }
 
-
 /// The paper's stated future work: stability analysis of the fluid model
 /// (§5.2). Perturb the system at its fixed point and classify the
 /// response, across g and incast depth.
 pub fn stability(quick: bool) {
     use fluid::stability::stability_map;
-    banner("ext-stability", "fluid-model stability map (the paper's future work)");
+    banner(
+        "ext-stability",
+        "fluid-model stability map (the paper's future work)",
+    );
     let horizon = if quick { 0.15 } else { 0.3 };
     let gs = [1.0 / 16.0, 1.0 / 256.0, 1.0 / 1024.0];
     let ns = [2usize, 4, 8, 16];
@@ -363,7 +403,15 @@ pub fn stability(quick: bool) {
         "{:>8} {:>6} | {:>11} | {:>10} {:>10} {:>9}",
         "g", "N", "verdict", "early amp", "late amp", "q* (KB)"
     );
-    for (g, n, rep) in stability_map(&gs, &ns, horizon) {
+    // One fluid probe per (g, N) grid point.
+    let grid: Vec<(f64, usize)> = gs
+        .iter()
+        .flat_map(|&g| ns.iter().map(move |&n| (g, n)))
+        .collect();
+    let points = par_map(&grid, |&(g, n)| {
+        stability_map(&[g], &[n], horizon).remove(0)
+    });
+    for (g, n, rep) in points {
         println!(
             "   1/{:>4} {:>6} | {:>11} | {:>10.1} {:>10.1} {:>9.1}",
             (1.0 / g).round(),
@@ -380,7 +428,6 @@ pub fn stability(quick: bool) {
     println!("~16:1 every g rides the K_max cliff (the regime §5.2's R_AI-halving");
     println!("advice addresses).");
 }
-
 
 /// Runs all extensions.
 pub fn run_all(quick: bool) {

@@ -10,7 +10,10 @@ use baselines::hostmodel::{
 
 /// Runs the experiment.
 pub fn run(_quick: bool) {
-    banner("fig1", "TCP vs RDMA: throughput / CPU / latency by message size");
+    banner(
+        "fig1",
+        "TCP vs RDMA: throughput / CPU / latency by message size",
+    );
     let m = Machine::paper_testbed();
     println!("(a,b) throughput and mean CPU utilization:");
     println!(

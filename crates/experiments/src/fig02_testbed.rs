@@ -8,7 +8,10 @@ use netsim::network::Node;
 
 /// Runs the experiment.
 pub fn run(_quick: bool) {
-    banner("fig2", "3-tier Clos testbed (4 ToRs, 4 leaves, 2 spines, 40G)");
+    banner(
+        "fig2",
+        "3-tier Clos testbed (4 ToRs, 4 leaves, 2 spines, 40G)",
+    );
     let tb = testbed(CcChoice::dcqcn_paper(), true, false, 5, 1);
     let (mut switches, mut hosts) = (0, 0);
     for n in &tb.net.nodes {

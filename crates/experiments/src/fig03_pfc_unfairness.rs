@@ -4,6 +4,7 @@
 //! uplinks depending on the ECMP draw (the parking-lot problem).
 
 use crate::common::{banner, mmm, CcChoice, RunScale};
+use crate::runner::par_runs;
 use crate::scenarios::unfairness_run;
 use netsim::units::Duration;
 
@@ -17,14 +18,19 @@ pub fn run_with(cc: CcChoice, scale: RunScale) {
         CcChoice::Dcqcn(_) => (Duration::from_millis(200), Duration::from_millis(150)),
         _ => (Duration::ZERO, Duration::ZERO),
     };
+    let runs = par_runs(&seeds, |seed| {
+        unfairness_run(cc, seed, duration + extra_dur, warmup + extra_warm)
+    });
     let mut per_host: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for &seed in &seeds {
-        let g = unfairness_run(cc, seed, duration + extra_dur, warmup + extra_warm);
+    for g in &runs {
         for (h, &v) in g.iter().enumerate() {
             per_host[h].push(v);
         }
     }
-    println!("per-sender goodput across {} ECMP draws (Gbps):", seeds.len());
+    println!(
+        "per-sender goodput across {} ECMP draws (Gbps):",
+        seeds.len()
+    );
     for (h, name) in ["H1", "H2", "H3", "H4"].iter().enumerate() {
         println!("  {name}: {}", mmm(&per_host[h]));
     }

@@ -3,6 +3,7 @@
 //! cascade from T4 up through the spines and down to T1's uplinks.
 
 use crate::common::{banner, mmm, CcChoice, RunScale};
+use crate::runner::par_map;
 use crate::scenarios::victim_run;
 use netsim::units::Duration;
 
@@ -16,13 +17,20 @@ pub fn run_with(cc: CcChoice, scale: RunScale) {
         CcChoice::Dcqcn(_) => (Duration::from_millis(200), Duration::from_millis(150)),
         _ => (Duration::ZERO, Duration::ZERO),
     };
+    // Fan the whole (t3 × seed) grid out at once so threads stay busy
+    // across row boundaries, then print grouped per row.
+    let t3_counts = [0usize, 1, 2];
+    let grid: Vec<(usize, u64)> = t3_counts
+        .iter()
+        .flat_map(|&t3| seeds.iter().map(move |&s| (t3, s)))
+        .collect();
+    let results = par_map(&grid, |&(t3, s)| {
+        victim_run(cc, t3, s, duration + extra_dur, warmup + extra_warm)
+    });
     println!("victim (VS→VR) goodput vs number of senders under T3 (Gbps):");
-    for t3 in [0usize, 1, 2] {
-        let g: Vec<f64> = seeds
-            .iter()
-            .map(|&s| victim_run(cc, t3, s, duration + extra_dur, warmup + extra_warm))
-            .collect();
-        println!("  {t3} senders under T3: {}", mmm(&g));
+    for (row, t3) in t3_counts.iter().enumerate() {
+        let g = &results[row * seeds.len()..(row + 1) * seeds.len()];
+        println!("  {t3} senders under T3: {}", mmm(g));
     }
 }
 

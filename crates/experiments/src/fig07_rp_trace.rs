@@ -9,11 +9,17 @@ use netsim::units::{Bandwidth, Time};
 
 /// Runs the experiment.
 pub fn run(_quick: bool) {
-    banner("fig7", "RP state machine trace (cut -> fast recovery -> additive increase)");
+    banner(
+        "fig7",
+        "RP state machine trace (cut -> fast recovery -> additive increase)",
+    );
     let params = DcqcnParams::paper();
     let mut rp = DcqcnRp::new(Bandwidth::gbps(40), params);
     let mut a = CcActions::default();
-    println!("{:>6} | {:>10} | {:>10} | {:>8} | phase", "event", "R_C Gbps", "R_T Gbps", "alpha");
+    println!(
+        "{:>6} | {:>10} | {:>10} | {:>8} | phase",
+        "event", "R_C Gbps", "R_T Gbps", "alpha"
+    );
     let row = |ev: &str, rp: &DcqcnRp, phase: &str| {
         println!(
             "{:>6} | {:>10.3} | {:>10.3} | {:>8.4} | {phase}",

@@ -17,7 +17,10 @@ const END_MS: u64 = 600;
 
 /// Runs the experiment.
 pub fn run(quick: bool) {
-    banner("fig10", "fluid model vs implementation (rate of the joining sender)");
+    banner(
+        "fig10",
+        "fluid model vs implementation (rate of the joining sender)",
+    );
     let end_ms = if quick { 300 } else { END_MS };
 
     // --- packet simulator ---
@@ -57,7 +60,10 @@ pub fn run(quick: bool) {
     );
     let trace = fsim.run(end_ms as f64 / 1000.0, 1e-3);
 
-    println!("{:>8} | {:>10} | {:>10}", "t (ms)", "sim Gbps", "fluid Gbps");
+    println!(
+        "{:>8} | {:>10} | {:>10}",
+        "t (ms)", "sim Gbps", "fluid Gbps"
+    );
     let step = if quick { 20 } else { 25 };
     let mut sim_tail = Vec::new();
     let mut fluid_tail = Vec::new();

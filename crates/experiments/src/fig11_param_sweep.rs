@@ -4,7 +4,11 @@
 //! lower is better.
 
 use crate::common::banner;
+use crate::runner::par_map;
 use fluid::sweep::{sweep_byte_counter, sweep_kmax, sweep_pmax, sweep_timer, SweepPoint};
+
+/// One sweep panel: (title, value-column header, the sweep itself).
+type Panel<'a> = (&'a str, &'a str, Box<dyn Fn() -> Vec<SweepPoint> + Sync>);
 
 fn print_points(title: &str, unit: &str, pts: &[SweepPoint]) {
     println!("{title}:");
@@ -34,33 +38,60 @@ fn print_points(title: &str, unit: &str, pts: &[SweepPoint]) {
 
 /// Runs the experiment.
 pub fn run(quick: bool) {
-    banner("fig11", "parameter sweeps for convergence (fluid model, |R1-R2| in Gbps)");
+    banner(
+        "fig11",
+        "parameter sweeps for convergence (fluid model, |R1-R2| in Gbps)",
+    );
     let horizon = if quick { 0.2 } else { 0.3 };
-    let bc: &[u64] = if quick { &[150, 10_000] } else { &[150, 500, 1_500, 5_000, 10_000] };
-    let timer: &[u64] = if quick { &[55, 1_500] } else { &[55, 150, 300, 500, 1_500] };
-    let kmax: &[u64] = if quick { &[40, 200] } else { &[40, 80, 200, 400, 1_000] };
-    let pmax: &[f64] = if quick { &[1.0, 0.01] } else { &[1.0, 0.5, 0.2, 0.1, 0.01] };
+    let bc: &[u64] = if quick {
+        &[150, 10_000]
+    } else {
+        &[150, 500, 1_500, 5_000, 10_000]
+    };
+    let timer: &[u64] = if quick {
+        &[55, 1_500]
+    } else {
+        &[55, 150, 300, 500, 1_500]
+    };
+    let kmax: &[u64] = if quick {
+        &[40, 200]
+    } else {
+        &[40, 80, 200, 400, 1_000]
+    };
+    let pmax: &[f64] = if quick {
+        &[1.0, 0.01]
+    } else {
+        &[1.0, 0.5, 0.2, 0.1, 0.01]
+    };
 
-    print_points(
-        "(a) byte counter sweep, strawman parameters (KB)",
-        "B (KB)",
-        &sweep_byte_counter(bc, horizon),
-    );
-    print_points(
-        "(b) timer sweep with 10 MB byte counter (µs)",
-        "T (µs)",
-        &sweep_timer(timer, horizon),
-    );
-    print_points(
-        "(c) K_max sweep, strawman parameters (KB)",
-        "Kmax(KB)",
-        &sweep_kmax(kmax, horizon),
-    );
-    print_points(
-        "(d) P_max sweep with K_max = 200 KB",
-        "Pmax",
-        &sweep_pmax(pmax, horizon),
-    );
+    // Each panel integrates the fluid model over every sweep value; fan
+    // the four panels out and print in panel order.
+    let jobs: Vec<Panel> = vec![
+        (
+            "(a) byte counter sweep, strawman parameters (KB)",
+            "B (KB)",
+            Box::new(move || sweep_byte_counter(bc, horizon)),
+        ),
+        (
+            "(b) timer sweep with 10 MB byte counter (µs)",
+            "T (µs)",
+            Box::new(move || sweep_timer(timer, horizon)),
+        ),
+        (
+            "(c) K_max sweep, strawman parameters (KB)",
+            "Kmax(KB)",
+            Box::new(move || sweep_kmax(kmax, horizon)),
+        ),
+        (
+            "(d) P_max sweep with K_max = 200 KB",
+            "Pmax",
+            Box::new(move || sweep_pmax(pmax, horizon)),
+        ),
+    ];
+    let results = par_map(&jobs, |(_, _, job)| job());
+    for ((title, unit, _), pts) in jobs.iter().zip(&results) {
+        print_points(title, unit, pts);
+    }
     println!("paper's conclusions: slow byte counter helps but is sluggish; fast timer");
     println!("converges best; RED-like marking (small P_max) fixes the strawman too.");
 }

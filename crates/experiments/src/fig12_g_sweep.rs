@@ -2,11 +2,15 @@
 //! incast for different α-gains (fluid model).
 
 use crate::common::banner;
+use crate::runner::par_map;
 use fluid::sweep::{g_queue_trace, queue_stats};
 
 /// Runs the experiment.
 pub fn run(quick: bool) {
-    banner("fig12", "g sweep: queue length/stability, 2:1 and 16:1 incast (fluid)");
+    banner(
+        "fig12",
+        "g sweep: queue length/stability, 2:1 and 16:1 incast (fluid)",
+    );
     let horizon = if quick { 0.25 } else { 0.5 };
     let gs: &[(f64, &str)] = if quick {
         &[(1.0 / 16.0, "1/16"), (1.0 / 256.0, "1/256")]
@@ -22,11 +26,17 @@ pub fn run(quick: bool) {
         "{:>8} | {:>22} | {:>22} {:>8}",
         "g", "2:1 queue KB (mean±sd)", "16:1 queue KB (mean±sd)", "16:1 max"
     );
-    for &(g, label) in gs {
-        let t2 = g_queue_trace(g, 2, horizon);
-        let t16 = g_queue_trace(g, 16, horizon);
-        let (m2, s2) = queue_stats(&t2, horizon / 2.0);
-        let (m16, s16) = queue_stats(&t16, horizon / 2.0);
+    // One fluid integration per (g, incast degree) point.
+    let grid: Vec<(f64, usize)> = gs
+        .iter()
+        .flat_map(|&(g, _)| [(g, 2usize), (g, 16usize)])
+        .collect();
+    let traces = par_map(&grid, |&(g, n)| g_queue_trace(g, n, horizon));
+    for (i, &(_, label)) in gs.iter().enumerate() {
+        let t2 = &traces[2 * i];
+        let t16 = &traces[2 * i + 1];
+        let (m2, s2) = queue_stats(t2, horizon / 2.0);
+        let (m16, s16) = queue_stats(t16, horizon / 2.0);
         let max16 = t16
             .times
             .iter()

@@ -9,6 +9,7 @@
 //!   and stable.
 
 use crate::common::{banner, mean, stddev, CcChoice};
+use crate::runner::par_map;
 use dcqcn::params::{red_cutoff_strawman, red_deployed, DcqcnParams};
 use netsim::ecn::RedConfig;
 use netsim::packet::DATA_PRIORITY;
@@ -85,14 +86,18 @@ fn run_one(params: DcqcnParams, red: RedConfig, end: Duration, seed: u64) -> [(f
 
 /// Runs the experiment.
 pub fn run(quick: bool) {
-    banner("fig13", "validating parameter values (2 flows, packet simulator)");
+    banner(
+        "fig13",
+        "validating parameter values (2 flows, packet simulator)",
+    );
     let end = Duration::from_millis(if quick { 300 } else { 600 });
     println!(
         "{:<26} | {:>8} {:>8} | {:>8} | {:>8}",
         "configuration", "f1 Gbps", "f2 Gbps", "|diff|", "f1 sd"
     );
-    for c in configs() {
-        let [(m1, s1), (m2, _)] = run_one(c.params, c.red, end, 31);
+    let configs = configs();
+    let results = par_map(&configs, |c| run_one(c.params, c.red, end, 31));
+    for (c, &[(m1, s1), (m2, _)]) in configs.iter().zip(&results) {
         println!(
             "{:<26} | {:>8.2} {:>8.2} | {:>8.2} | {:>8.2}",
             c.label,

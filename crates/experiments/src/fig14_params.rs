@@ -9,7 +9,10 @@ pub fn run(_quick: bool) {
     let p = DcqcnParams::paper();
     let r = red_deployed();
     println!("  rate-increase timer T : {}", p.rate_timer);
-    println!("  byte counter B        : {} MB", p.byte_counter / 1_000_000);
+    println!(
+        "  byte counter B        : {} MB",
+        p.byte_counter / 1_000_000
+    );
     println!("  K_max                 : {} KB", r.kmax_bytes / 1000);
     println!("  K_min                 : {} KB", r.kmin_bytes / 1000);
     println!("  P_max                 : {}%", r.pmax * 100.0);

@@ -3,15 +3,20 @@
 //! congestion-spreading.
 
 use crate::common::{banner, CcChoice, RunScale};
+use crate::runner::par_map;
 use crate::scenarios::{benchmark_run, BenchmarkConfig};
 
 /// Runs the experiment.
 pub fn run(quick: bool) {
-    banner("fig15", "PAUSE frames at spines, 10:1 incast + user traffic");
+    banner(
+        "fig15",
+        "PAUSE frames at spines, 10:1 incast + user traffic",
+    );
     let scale = RunScale { quick };
     let duration = scale.dur(300, 1000);
-    for cc in [CcChoice::None, CcChoice::dcqcn_paper()] {
-        let res = benchmark_run(&BenchmarkConfig {
+    let ccs = [CcChoice::None, CcChoice::dcqcn_paper()];
+    let results = par_map(&ccs, |&cc| {
+        benchmark_run(&BenchmarkConfig {
             cc,
             pairs: 20,
             incast_degree: 10,
@@ -20,7 +25,9 @@ pub fn run(quick: bool) {
             misconfigured: false,
             nack_enabled: true,
             seed: 7,
-        });
+        })
+    });
+    for (cc, res) in ccs.iter().zip(&results) {
         println!(
             "  {:>9}: spine PAUSE rx = {:>8}  (drops {}, retx {})",
             cc.label(),

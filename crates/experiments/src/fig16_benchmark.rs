@@ -3,51 +3,71 @@
 //! with and without DCQCN.
 
 use crate::common::{banner, CcChoice, RunScale};
+use crate::runner::par_map;
 use crate::scenarios::{benchmark_run, BenchmarkConfig};
 use netsim::stats::percentile;
 
 /// Runs the experiment.
 pub fn run(quick: bool) {
-    banner("fig16", "benchmark traffic vs incast degree (user + rebuild flows)");
+    banner(
+        "fig16",
+        "benchmark traffic vs incast degree (user + rebuild flows)",
+    );
     let scale = RunScale { quick };
     let duration = scale.dur(300, 800);
     let seeds = scale.seeds(1, 3);
-    let degrees: &[usize] = if quick { &[2, 6, 10] } else { &[2, 4, 6, 8, 10] };
+    let degrees: &[usize] = if quick {
+        &[2, 6, 10]
+    } else {
+        &[2, 4, 6, 8, 10]
+    };
     println!(
         "{:>7} {:>9} | {:>9} {:>9} | {:>10} {:>10} | {:>8}",
         "degree", "scheme", "user med", "user 10th", "incast med", "incast 10th", "pauses"
     );
-    for &deg in degrees {
-        for cc in [CcChoice::None, CcChoice::dcqcn_paper()] {
-            let mut user = Vec::new();
-            let mut incast = Vec::new();
-            let mut pauses = 0;
-            for &seed in &seeds {
-                let r = benchmark_run(&BenchmarkConfig {
-                    cc,
-                    pairs: 20,
-                    incast_degree: deg,
-                    duration,
-                    pfc: true,
-                    misconfigured: false,
-                    nack_enabled: true,
-                    seed,
-                });
-                user.extend(r.user_goodputs);
-                incast.extend(r.incast_goodputs);
-                pauses += r.spine_pause_rx;
-            }
-            println!(
-                "{:>7} {:>9} | {:>9.2} {:>9.2} | {:>10.2} {:>10.2} | {:>8}",
-                deg,
-                cc.label(),
-                percentile(&user, 50.0),
-                percentile(&user, 10.0),
-                percentile(&incast, 50.0),
-                percentile(&incast, 10.0),
-                pauses
-            );
+    // Flatten the full (degree × scheme × seed) grid into one fan-out so
+    // every core stays busy, then aggregate per table row in order.
+    let ccs = [CcChoice::None, CcChoice::dcqcn_paper()];
+    let grid: Vec<(usize, CcChoice, u64)> = degrees
+        .iter()
+        .flat_map(|&deg| {
+            let seeds = &seeds;
+            ccs.iter()
+                .flat_map(move |&cc| seeds.iter().map(move |&seed| (deg, cc, seed)))
+        })
+        .collect();
+    let runs = par_map(&grid, |&(deg, cc, seed)| {
+        benchmark_run(&BenchmarkConfig {
+            cc,
+            pairs: 20,
+            incast_degree: deg,
+            duration,
+            pfc: true,
+            misconfigured: false,
+            nack_enabled: true,
+            seed,
+        })
+    });
+    for (row, chunk) in runs.chunks(seeds.len()).enumerate() {
+        let (deg, cc, _) = grid[row * seeds.len()];
+        let mut user = Vec::new();
+        let mut incast = Vec::new();
+        let mut pauses = 0;
+        for r in chunk {
+            user.extend(r.user_goodputs.iter().copied());
+            incast.extend(r.incast_goodputs.iter().copied());
+            pauses += r.spine_pause_rx;
         }
+        println!(
+            "{:>7} {:>9} | {:>9.2} {:>9.2} | {:>10.2} {:>10.2} | {:>8}",
+            deg,
+            cc.label(),
+            percentile(&user, 50.0),
+            percentile(&user, 10.0),
+            percentile(&incast, 50.0),
+            percentile(&incast, 10.0),
+            pauses
+        );
     }
     println!("paper: without DCQCN user throughput collapses as degree grows (PAUSE");
     println!("cascades); with DCQCN it is flat, and incast tail gets its fair share");

@@ -3,6 +3,7 @@
 //! (or is beaten by) 80 pairs with DCQCN.
 
 use crate::common::{banner, CcChoice, RunScale};
+use crate::runner::par_map;
 use crate::scenarios::{benchmark_run, BenchmarkConfig};
 use netsim::stats::percentile;
 
@@ -20,15 +21,18 @@ fn cdf_row(label: &str, v: &[f64]) {
 
 /// Runs the experiment.
 pub fn run(quick: bool) {
-    banner("fig17", "16x user traffic: (no DCQCN, 5 pairs) vs (DCQCN, 80 pairs)");
+    banner(
+        "fig17",
+        "16x user traffic: (no DCQCN, 5 pairs) vs (DCQCN, 80 pairs)",
+    );
     let scale = RunScale { quick };
     let duration = scale.dur(300, 800);
     let configs = [
         ("No DCQCN, 5 pairs", CcChoice::None, 5usize),
         ("DCQCN, 80 pairs", CcChoice::dcqcn_paper(), 80),
     ];
-    for (label, cc, pairs) in configs {
-        let r = benchmark_run(&BenchmarkConfig {
+    let results = par_map(&configs, |&(_, cc, pairs)| {
+        benchmark_run(&BenchmarkConfig {
             cc,
             pairs,
             incast_degree: 10,
@@ -37,7 +41,9 @@ pub fn run(quick: bool) {
             misconfigured: false,
             nack_enabled: true,
             seed: 5,
-        });
+        })
+    });
+    for ((label, _, _), r) in configs.iter().zip(&results) {
         println!("(a) user transfer goodput CDF (Gbps):");
         cdf_row(label, &r.user_goodputs);
         println!("(b) incast flow goodput CDF (Gbps):");

@@ -8,6 +8,7 @@
 //! * DCQCN proper.
 
 use crate::common::{banner, CcChoice, RunScale};
+use crate::runner::par_map;
 use crate::scenarios::{benchmark_run, BenchmarkConfig};
 use netsim::stats::percentile;
 
@@ -19,17 +20,35 @@ pub fn run(quick: bool) {
     // (label, cc, pfc, misconfigured, NAK-capable receiver)
     let configs: [(&str, CcChoice, bool, bool, bool); 5] = [
         ("No DCQCN", CcChoice::None, true, false, true),
-        ("DCQCN without PFC", CcChoice::dcqcn_paper(), false, false, true),
-        ("  (timeout-only NICs)", CcChoice::dcqcn_paper(), false, false, false),
-        ("DCQCN (misconfigured)", CcChoice::dcqcn_paper(), true, true, true),
+        (
+            "DCQCN without PFC",
+            CcChoice::dcqcn_paper(),
+            false,
+            false,
+            true,
+        ),
+        (
+            "  (timeout-only NICs)",
+            CcChoice::dcqcn_paper(),
+            false,
+            false,
+            false,
+        ),
+        (
+            "DCQCN (misconfigured)",
+            CcChoice::dcqcn_paper(),
+            true,
+            true,
+            true,
+        ),
         ("DCQCN", CcChoice::dcqcn_paper(), true, false, true),
     ];
     println!(
         "{:<22} | {:>9} {:>11} | {:>7} {:>7} {:>9} {:>6}",
         "configuration", "user 10th", "incast 10th", "drops", "retx", "pauses", "dead"
     );
-    for (label, cc, pfc, misconfig, nack) in configs {
-        let r = benchmark_run(&BenchmarkConfig {
+    let results = par_map(&configs, |&(_, cc, pfc, misconfig, nack)| {
+        benchmark_run(&BenchmarkConfig {
             cc,
             pairs: 20,
             incast_degree: 8,
@@ -38,7 +57,9 @@ pub fn run(quick: bool) {
             misconfigured: misconfig,
             nack_enabled: nack,
             seed: 9,
-        });
+        })
+    });
+    for ((label, ..), r) in configs.iter().zip(&results) {
         println!(
             "{:<22} | {:>9.2} {:>11.2} | {:>7} {:>7} {:>9} {:>6}",
             label,

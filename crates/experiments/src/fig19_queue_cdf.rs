@@ -6,6 +6,7 @@
 //! p* > P_max), so the DCQCN tail grows.
 
 use crate::common::{banner, CcChoice, RunScale};
+use crate::runner::par_map;
 use baselines::dctcp::DctcpParams;
 use netsim::event::PortId;
 use netsim::packet::DATA_PRIORITY;
@@ -62,25 +63,28 @@ pub fn run(quick: bool) {
     );
     let mut p90 = Vec::new();
     let depths: &[usize] = if quick { &[2] } else { &[2, 4, 8, 20] };
-    for &n in depths {
-        for cc in [
-            CcChoice::dcqcn_paper(),
-            CcChoice::Dctcp(DctcpParams::default_40g()),
-        ] {
-            let q = queue_samples(cc, n, duration, 3);
-            let mean = q.iter().sum::<f64>() / q.len() as f64;
-            println!(
-                "{:>4}:1 {:<8} | {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
-                n,
-                cc.label(),
-                percentile(&q, 50.0),
-                percentile(&q, 90.0),
-                percentile(&q, 99.0),
-                mean
-            );
-            if n == 2 {
-                p90.push(percentile(&q, 90.0));
-            }
+    let ccs = [
+        CcChoice::dcqcn_paper(),
+        CcChoice::Dctcp(DctcpParams::default_40g()),
+    ];
+    let grid: Vec<(usize, CcChoice)> = depths
+        .iter()
+        .flat_map(|&n| ccs.iter().map(move |&cc| (n, cc)))
+        .collect();
+    let samples = par_map(&grid, |&(n, cc)| queue_samples(cc, n, duration, 3));
+    for (&(n, cc), q) in grid.iter().zip(&samples) {
+        let mean = q.iter().sum::<f64>() / q.len() as f64;
+        println!(
+            "{:>4}:1 {:<8} | {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
+            n,
+            cc.label(),
+            percentile(q, 50.0),
+            percentile(q, 90.0),
+            percentile(q, 99.0),
+            mean
+        );
+        if n == 2 {
+            p90.push(percentile(q, 90.0));
         }
     }
     println!(

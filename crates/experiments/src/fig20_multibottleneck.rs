@@ -3,6 +3,7 @@
 //! twice as likely to be marked); RED-like marking mitigates this.
 
 use crate::common::{banner, CcChoice};
+use crate::runner::par_map;
 use dcqcn::params::{red_deployed, DcqcnParams};
 use netsim::ecn::RedConfig;
 use netsim::packet::DATA_PRIORITY;
@@ -40,7 +41,10 @@ fn run_one(red: RedConfig, duration: Duration, seed: u64) -> [f64; 3] {
 
 /// Runs the experiment.
 pub fn run(quick: bool) {
-    banner("fig20", "multi-bottleneck parking lot: cut-off vs RED-like marking");
+    banner(
+        "fig20",
+        "multi-bottleneck parking lot: cut-off vs RED-like marking",
+    );
     let duration = Duration::from_millis(if quick { 300 } else { 700 });
     println!("f1: one bottleneck (SW1->SW2); f2: BOTH; f3: one (SW2->R2).");
     println!("max-min fair share: 20 Gbps each.");
@@ -49,9 +53,13 @@ pub fn run(quick: bool) {
         "marking", "f1 Gbps", "f2 Gbps", "f3 Gbps"
     );
     let cutoff = RedConfig::cutoff(40_000);
+    let markings = [
+        ("cut-off (Kmin=Kmax)", cutoff),
+        ("RED-like (deployed)", red_deployed()),
+    ];
+    let results = par_map(&markings, |&(_, red)| run_one(red, duration, 17));
     let mut f2_rates = Vec::new();
-    for (label, red) in [("cut-off (Kmin=Kmax)", cutoff), ("RED-like (deployed)", red_deployed())] {
-        let [g1, g2, g3] = run_one(red, duration, 17);
+    for ((label, _), &[g1, g2, g3]) in markings.iter().zip(&results) {
         println!("{label:<22} | {g1:>8.2} {g2:>8.2} {g3:>8.2}");
         f2_rates.push(g2);
     }

@@ -12,6 +12,7 @@
 
 pub mod common;
 pub mod extensions;
+pub mod runner;
 pub mod scenarios;
 
 pub mod fig01_tcp_vs_rdma;
@@ -99,9 +100,30 @@ mod tests {
         }
         for id in ALL {
             assert!(
-                matches!(*id, "fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6" | "fig7"
-                    | "fig8" | "fig9" | "fig10" | "fig11" | "fig12" | "fig13" | "fig14"
-                    | "sec4" | "fig15" | "fig16" | "fig17" | "fig18" | "fig19" | "fig20"),
+                matches!(
+                    *id,
+                    "fig1"
+                        | "fig2"
+                        | "fig3"
+                        | "fig4"
+                        | "fig5"
+                        | "fig6"
+                        | "fig7"
+                        | "fig8"
+                        | "fig9"
+                        | "fig10"
+                        | "fig11"
+                        | "fig12"
+                        | "fig13"
+                        | "fig14"
+                        | "sec4"
+                        | "fig15"
+                        | "fig16"
+                        | "fig17"
+                        | "fig18"
+                        | "fig19"
+                        | "fig20"
+                ),
                 "{id} is listed"
             );
         }

@@ -38,7 +38,10 @@ fn main() {
         }
         Some(id) => {
             if !experiments::dispatch(id, quick) {
-                eprintln!("unknown experiment '{id}'; try: {}", experiments::ALL.join(" "));
+                eprintln!(
+                    "unknown experiment '{id}'; try: {}",
+                    experiments::ALL.join(" ")
+                );
                 std::process::exit(1);
             }
         }

@@ -12,7 +12,13 @@ use workloads::traffic::{
 };
 
 /// Builds the Figure 2 testbed configured for a CC scheme.
-pub fn testbed(cc: CcChoice, pfc: bool, misconfigured: bool, hosts_per_tor: usize, seed: u64) -> ClosTestbed {
+pub fn testbed(
+    cc: CcChoice,
+    pfc: bool,
+    misconfigured: bool,
+    hosts_per_tor: usize,
+    seed: u64,
+) -> ClosTestbed {
     clos_testbed(
         hosts_per_tor,
         LinkParams::default(),

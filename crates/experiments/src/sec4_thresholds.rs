@@ -7,19 +7,42 @@ use netsim::buffer::BufferConfig;
 
 /// Runs the experiment.
 pub fn run(_quick: bool) {
-    banner("sec4", "PFC/ECN buffer thresholds (Arista 7050QX32 / Trident II)");
+    banner(
+        "sec4",
+        "PFC/ECN buffer thresholds (Arista 7050QX32 / Trident II)",
+    );
     let cfg = BufferConfig::trident2();
     let r = report(&cfg, 8.0);
-    println!("switch: {} MB shared buffer, {} ports, 8 PFC priorities, MTU {}", cfg.total_bytes / 1_000_000, cfg.num_ports, cfg.mtu_bytes);
-    println!("  t_flight (headroom/port/priority) : {:.1} KB  (paper: 22.4)", r.t_flight as f64 / 1000.0);
-    println!("  t_PFC static upper bound          : {:.2} KB  (paper: 24.47)", r.t_pfc_static as f64 / 1000.0);
-    println!("  naive static t_ECN bound          : {:.2} KB  (paper: ~0.8, < 1 MTU, infeasible)", r.t_ecn_naive as f64 / 1000.0);
-    println!("  dynamic t_ECN bound at beta = 8   : {:.2} KB  (paper: < 21.7)", r.t_ecn_dynamic as f64 / 1000.0);
+    println!(
+        "switch: {} MB shared buffer, {} ports, 8 PFC priorities, MTU {}",
+        cfg.total_bytes / 1_000_000,
+        cfg.num_ports,
+        cfg.mtu_bytes
+    );
+    println!(
+        "  t_flight (headroom/port/priority) : {:.1} KB  (paper: 22.4)",
+        r.t_flight as f64 / 1000.0
+    );
+    println!(
+        "  t_PFC static upper bound          : {:.2} KB  (paper: 24.47)",
+        r.t_pfc_static as f64 / 1000.0
+    );
+    println!(
+        "  naive static t_ECN bound          : {:.2} KB  (paper: ~0.8, < 1 MTU, infeasible)",
+        r.t_ecn_naive as f64 / 1000.0
+    );
+    println!(
+        "  dynamic t_ECN bound at beta = 8   : {:.2} KB  (paper: < 21.7)",
+        r.t_ecn_dynamic as f64 / 1000.0
+    );
     println!();
     println!("sensitivity of the t_ECN bound to beta:");
     println!("{:>8} | {:>12}", "beta", "t_ECN bound");
     for beta in [1.0, 2.0, 4.0, 8.0, 16.0, 64.0] {
-        println!("{beta:>8} | {:>9.2} KB", dynamic_ecn_bound(&cfg, beta) as f64 / 1000.0);
+        println!(
+            "{beta:>8} | {:>9.2} KB",
+            dynamic_ecn_bound(&cfg, beta) as f64 / 1000.0
+        );
     }
     println!("larger beta pauses later, leaving more room for ECN to act first.");
 }

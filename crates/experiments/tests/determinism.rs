@@ -1,0 +1,91 @@
+//! The parallel harness contract (see `src/runner.rs`): fanning runs out
+//! across threads must reproduce a serial run exactly — same results, in
+//! input order, bit-for-bit — and repeated parallel runs must agree with
+//! each other. These tests exercise the contract with a *real* simulation
+//! (the Clos unfairness scenario), not a toy closure, so they also pin the
+//! underlying property that a run is a pure function of config + seed.
+
+use std::sync::Mutex;
+
+use experiments::common::CcChoice;
+use experiments::runner::{par_map, par_runs};
+use experiments::scenarios::unfairness_run;
+use netsim::units::Duration;
+
+/// Serializes tests that mutate `REPRO_THREADS` — the test harness runs
+/// `#[test]` functions concurrently in one process, and the environment
+/// is process-global.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn set_threads(n: usize) {
+    std::env::set_var("REPRO_THREADS", n.to_string());
+}
+
+/// One short-but-real run: 20 flows over the 3-tier Clos testbed.
+fn run(seed: u64) -> Vec<f64> {
+    unfairness_run(
+        CcChoice::None,
+        seed,
+        Duration::from_millis(2),
+        Duration::from_micros(500),
+    )
+}
+
+/// Bit-exact comparison: `==` on f64 treats -0.0 == 0.0 and NaN != NaN;
+/// the determinism guarantee is stronger than numeric equality.
+fn assert_bits_eq(a: &[Vec<f64>], b: &[Vec<f64>], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (ra, rb)) in a.iter().zip(b).enumerate() {
+        let ba: Vec<u64> = ra.iter().map(|v| v.to_bits()).collect();
+        let bb: Vec<u64> = rb.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ba, bb, "{what}: run {i} differs");
+    }
+}
+
+#[test]
+fn parallel_reproduces_serial_run_for_run() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let seeds: Vec<u64> = vec![11, 23, 31];
+
+    // Ground truth: a plain serial map, no harness involved.
+    let serial: Vec<Vec<f64>> = seeds.iter().map(|&s| run(s)).collect();
+
+    // The harness on one thread takes its serial fast path…
+    set_threads(1);
+    let harness_serial = par_runs(&seeds, run);
+    assert_bits_eq(&serial, &harness_serial, "REPRO_THREADS=1 vs plain map");
+
+    // …and on many threads (more workers than this box has cores, so the
+    // scheduler genuinely interleaves) must still be bit-identical and in
+    // seed order.
+    set_threads(4);
+    let parallel = par_runs(&seeds, run);
+    assert_bits_eq(&serial, &parallel, "REPRO_THREADS=4 vs plain map");
+
+    // Run-to-run: a second parallel pass agrees with the first.
+    let again = par_runs(&seeds, run);
+    assert_bits_eq(&parallel, &again, "repeated parallel runs");
+}
+
+#[test]
+fn par_map_preserves_input_order_under_contention() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    set_threads(8);
+    // Unequal work per item so fast items finish while slow ones are still
+    // running — completion order is scrambled, output order must not be.
+    let items: Vec<(u64, u32)> = (0..32).map(|i| (i, (i % 7) as u32)).collect();
+    let out = par_map(&items, |&(seed, extra)| {
+        let mut rng = netsim::rng::SplitMix64::new(seed);
+        let spins = 1_000 + extra as usize * 10_000;
+        (0..spins).map(|_| rng.next_u64() & 0xF).sum::<u64>()
+    });
+    let serial: Vec<u64> = items
+        .iter()
+        .map(|&(seed, extra)| {
+            let mut rng = netsim::rng::SplitMix64::new(seed);
+            let spins = 1_000 + extra as usize * 10_000;
+            (0..spins).map(|_| rng.next_u64() & 0xF).sum::<u64>()
+        })
+        .collect();
+    assert_eq!(out, serial);
+}

@@ -166,10 +166,7 @@ mod tests {
         let params = FluidParams::paper_40g();
         let p2 = solve(&params, 2).p;
         let p16 = solve(&params, 16).p;
-        assert!(
-            p16 > p2,
-            "deeper incast needs more marking: {p2} vs {p16}"
-        );
+        assert!(p16 > p2, "deeper incast needs more marking: {p2} vs {p16}");
     }
 
     #[test]

@@ -327,11 +327,7 @@ mod tests {
     fn staggered_start_flow_joins_later() {
         let p = FluidParams::paper_40g();
         let c = p.capacity_pps;
-        let mut sim = FluidSim::new(
-            p,
-            vec![FlowState::new(0.0, c), FlowState::new(0.1, c)],
-            DT,
-        );
+        let mut sim = FluidSim::new(p, vec![FlowState::new(0.0, c), FlowState::new(0.1, c)], DT);
         let trace = sim.run(0.2, 1e-3);
         // Before 0.1 s flow 1 reports zero.
         let idx_before = trace.times.iter().position(|&t| t >= 0.05).unwrap();

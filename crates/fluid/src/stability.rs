@@ -98,7 +98,11 @@ pub fn probe(params: &FluidParams, n: usize, perturbation: f64, horizon_s: f64) 
 
 /// A (g, N) stability map with the deployed RED/rate parameters —
 /// the grid the `ext-stability` experiment prints.
-pub fn stability_map(gs: &[f64], ns: &[usize], horizon_s: f64) -> Vec<(f64, usize, StabilityReport)> {
+pub fn stability_map(
+    gs: &[f64],
+    ns: &[usize],
+    horizon_s: f64,
+) -> Vec<(f64, usize, StabilityReport)> {
     let mut out = Vec::new();
     for &g in gs {
         for &n in ns {

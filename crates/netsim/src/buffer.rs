@@ -126,14 +126,18 @@ impl SharedBuffer {
     }
 
     /// Tries to buffer `bytes` arriving on ingress (port, priority).
-    /// Returns false (drop) when the pool is exhausted.
+    /// Returns false (drop) when the pool is exhausted. The addition is
+    /// checked: a `bytes` large enough to wrap `u64` is a drop, not a
+    /// debug-panic/silent-wrap.
     pub fn admit(&mut self, port: usize, prio: usize, bytes: u64) -> bool {
-        if self.occupied + bytes > self.config.total_bytes {
-            return false;
+        match self.occupied.checked_add(bytes) {
+            Some(total) if total <= self.config.total_bytes => {
+                self.occupied = total;
+                self.ingress[port][prio] += bytes;
+                true
+            }
+            _ => false,
         }
-        self.occupied += bytes;
-        self.ingress[port][prio] += bytes;
-        true
     }
 
     /// Releases `bytes` previously admitted for ingress (port, priority)
@@ -277,5 +281,21 @@ mod tests {
         assert_eq!(l0, mb(12) / 16);
         b.admit(0, 3, mb(8));
         assert_eq!(b.lossy_egress_limit(), mb(4) / 16);
+    }
+
+    #[test]
+    fn admit_rejects_sizes_that_would_overflow_u64() {
+        // A request near u64::MAX must be a clean drop — not a wrapping
+        // add that sneaks past the pool check (or a debug-build panic).
+        let mut b = SharedBuffer::new(BufferConfig::trident2());
+        assert!(b.admit(0, 3, kb(10)));
+        let before = b.occupied();
+        assert!(!b.admit(0, 3, u64::MAX));
+        assert!(!b.admit(1, 0, u64::MAX - before + 1));
+        assert_eq!(b.occupied(), before, "rejected admits must not mutate");
+        assert_eq!(b.ingress_bytes(1, 0), 0);
+        // A merely-too-large (non-overflowing) request is also rejected.
+        assert!(!b.admit(0, 3, b.config().total_bytes));
+        assert_eq!(b.occupied(), before);
     }
 }

@@ -33,6 +33,13 @@ impl CcActions {
     pub fn disarm(&mut self, id: u32) {
         self.timers.push((id, Time::NEVER));
     }
+
+    /// Empties the action list, keeping its allocation. The host reuses
+    /// one `CcActions` as a scratch buffer across every CC callback, so
+    /// the per-packet path allocates nothing here.
+    pub fn clear(&mut self) {
+        self.timers.clear();
+    }
 }
 
 /// A per-flow congestion-control algorithm.

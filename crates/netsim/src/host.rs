@@ -226,8 +226,13 @@ pub struct Host {
     pub flows: Vec<Flow>,
     /// Receiver-side state per incoming flow.
     pub receivers: HashMap<FlowId, FlowReceiver>,
+    /// Flow id → index in `flows`; keeps per-ACK/CNP lookups O(1).
+    flow_ids: HashMap<FlowId, usize>,
     rr_cursor: usize,
     wakeup_at: Time,
+    /// Reusable CC-action buffer: cleared before every callback so the
+    /// per-packet path performs no allocation.
+    scratch: CcActions,
 }
 
 impl Host {
@@ -239,8 +244,10 @@ impl Host {
             config,
             flows: Vec::new(),
             receivers: HashMap::new(),
+            flow_ids: HashMap::new(),
             rr_cursor: 0,
             wakeup_at: Time::NEVER,
+            scratch: CcActions::default(),
         }
     }
 
@@ -258,7 +265,9 @@ impl Host {
         cc: Box<dyn CongestionControl>,
     ) -> usize {
         self.flows.push(Flow::new(id, dst, priority, cc));
-        self.flows.len() - 1
+        let idx = self.flows.len() - 1;
+        self.flow_ids.insert(id, idx);
+        idx
     }
 
     // ------------------------------------------------------------------
@@ -277,7 +286,11 @@ impl Host {
             PacketKind::Data { psn, payload, eom } => {
                 self.receive_data(ctx, &pkt, psn, payload, eom);
             }
-            PacketKind::Ack { cum_psn, acked, marked } => {
+            PacketKind::Ack {
+                cum_psn,
+                acked,
+                marked,
+            } => {
                 self.receive_ack(ctx, pkt.flow, cum_psn, acked, marked);
             }
             PacketKind::Nack { expected_psn } => {
@@ -287,24 +300,24 @@ impl Host {
                 let now = ctx.queue.now();
                 ctx.stats(pkt.flow).cnps_received += 1;
                 if let Some(i) = self.flow_index(pkt.flow) {
-                    let mut actions = CcActions::default();
-                    self.flows[i].cc.on_cnp(now, &mut actions);
-                    self.apply_cc_actions(ctx, i, actions);
+                    self.scratch.clear();
+                    self.flows[i].cc.on_cnp(now, &mut self.scratch);
+                    self.apply_cc_actions(ctx, i);
                 }
             }
             PacketKind::QcnFeedback { fb } => {
                 let now = ctx.queue.now();
                 if let Some(i) = self.flow_index(pkt.flow) {
-                    let mut actions = CcActions::default();
-                    self.flows[i].cc.on_qcn_feedback(now, fb, &mut actions);
-                    self.apply_cc_actions(ctx, i, actions);
+                    self.scratch.clear();
+                    self.flows[i].cc.on_qcn_feedback(now, fb, &mut self.scratch);
+                    self.apply_cc_actions(ctx, i);
                 }
             }
         }
     }
 
     fn flow_index(&self, id: FlowId) -> Option<usize> {
-        self.flows.iter().position(|f| f.id == id)
+        self.flow_ids.get(&id).copied()
     }
 
     fn receive_data(&mut self, ctx: &mut Ctx, pkt: &Packet, psn: u64, payload: u64, eom: bool) {
@@ -381,8 +394,7 @@ impl Host {
         } else if psn > rcv.expected_psn {
             // Gap: go-back-N receivers discard and NAK (once per episode).
             let expected = rcv.expected_psn;
-            if nack_enabled
-                && (rcv.last_nack_psn != expected || now - rcv.last_nack_at >= nack_min)
+            if nack_enabled && (rcv.last_nack_psn != expected || now - rcv.last_nack_at >= nack_min)
             {
                 rcv.last_nack_psn = expected;
                 rcv.last_nack_at = now;
@@ -417,7 +429,9 @@ impl Host {
         let mut acked_bytes = 0u64;
         let mut rtt: Option<Duration> = None;
         while f.una_psn < cum_psn {
-            let Some(meta) = f.unacked.pop_front() else { break };
+            let Some(meta) = f.unacked.pop_front() else {
+                break;
+            };
             let wire = meta.payload as u64 + HEADER_BYTES;
             debug_assert!(f.inflight_wire >= wire);
             f.inflight_wire -= wire;
@@ -457,11 +471,11 @@ impl Host {
         }
 
         if acked > 0 || acked_bytes > 0 {
-            let mut actions = CcActions::default();
+            self.scratch.clear();
             self.flows[i]
                 .cc
-                .on_ack(now, acked_bytes, acked, marked, rtt, &mut actions);
-            self.apply_cc_actions(ctx, i, actions);
+                .on_ack(now, acked_bytes, acked, marked, rtt, &mut self.scratch);
+            self.apply_cc_actions(ctx, i);
         }
         self.try_send(ctx);
     }
@@ -476,9 +490,9 @@ impl Host {
         if expected_psn >= f.una_psn && expected_psn < f.next_psn {
             // Rewind to the NAKed PSN (never below the cumulative ACK).
             f.send_psn = expected_psn.max(f.una_psn);
-            let mut actions = CcActions::default();
-            f.cc.on_loss(now, &mut actions);
-            self.apply_cc_actions(ctx, i, actions);
+            self.scratch.clear();
+            f.cc.on_loss(now, &mut self.scratch);
+            self.apply_cc_actions(ctx, i);
             self.try_send(ctx);
         }
     }
@@ -492,24 +506,25 @@ impl Host {
         let now = ctx.queue.now();
         match kind {
             TimerKind::Cc { flow, id } => {
-                let Some(f) = self.flows.get_mut(flow) else { return };
-                let armed = f
-                    .cc_timers
-                    .iter()
-                    .any(|&(tid, at)| tid == id && at == now);
+                let Some(f) = self.flows.get_mut(flow) else {
+                    return;
+                };
+                let armed = f.cc_timers.iter().any(|&(tid, at)| tid == id && at == now);
                 if armed {
                     // Consume the deadline, then let the algorithm re-arm.
                     if let Some(slot) = f.cc_timers.iter_mut().find(|(tid, _)| *tid == id) {
                         slot.1 = Time::NEVER;
                     }
-                    let mut actions = CcActions::default();
-                    f.cc.on_timer(now, id, &mut actions);
-                    self.apply_cc_actions(ctx, flow, actions);
+                    self.scratch.clear();
+                    f.cc.on_timer(now, id, &mut self.scratch);
+                    self.apply_cc_actions(ctx, flow);
                     self.try_send(ctx);
                 }
             }
             TimerKind::Retransmit { flow } => {
-                let Some(f) = self.flows.get_mut(flow) else { return };
+                let Some(f) = self.flows.get_mut(flow) else {
+                    return;
+                };
                 if f.rto_deadline == Time::NEVER {
                     return; // disarmed: the chain dies here
                 }
@@ -554,9 +569,9 @@ impl Host {
                             kind: TimerKind::Retransmit { flow },
                         },
                     );
-                    let mut actions = CcActions::default();
-                    f.cc.on_loss(now, &mut actions);
-                    self.apply_cc_actions(ctx, flow, actions);
+                    self.scratch.clear();
+                    f.cc.on_loss(now, &mut self.scratch);
+                    self.apply_cc_actions(ctx, flow);
                     self.try_send(ctx);
                 } else {
                     f.rto_deadline = Time::NEVER;
@@ -574,11 +589,13 @@ impl Host {
             TimerKind::IdleReset { flow } => {
                 // Optional explicit reset hook (unused by default: resets
                 // happen lazily on message arrival).
-                let Some(f) = self.flows.get_mut(flow) else { return };
+                let Some(f) = self.flows.get_mut(flow) else {
+                    return;
+                };
                 if f.is_idle() {
-                    let mut actions = CcActions::default();
-                    f.cc.reset(now, &mut actions);
-                    self.apply_cc_actions(ctx, flow, actions);
+                    self.scratch.clear();
+                    f.cc.reset(now, &mut self.scratch);
+                    self.apply_cc_actions(ctx, flow);
                 }
             }
         }
@@ -591,10 +608,10 @@ impl Host {
         let f = &mut self.flows[flow];
         if let Some(idle) = self.config.idle_reset {
             if f.is_idle() && now.saturating_since(f.last_activity) >= idle {
-                let mut actions = CcActions::default();
-                f.cc.reset(now, &mut actions);
+                self.scratch.clear();
+                f.cc.reset(now, &mut self.scratch);
                 f.next_eligible = now;
-                self.apply_cc_actions(ctx, flow, actions);
+                self.apply_cc_actions(ctx, flow);
             }
         }
         let f = &mut self.flows[flow];
@@ -606,9 +623,12 @@ impl Host {
         self.try_send(ctx);
     }
 
-    fn apply_cc_actions(&mut self, ctx: &mut Ctx, flow: usize, actions: CcActions) {
-        let f = &mut self.flows[flow];
-        for (id, at) in actions.timers {
+    /// Applies the timer actions accumulated in `self.scratch` (filled by
+    /// the preceding CC callback), then empties it for reuse.
+    fn apply_cc_actions(&mut self, ctx: &mut Ctx, flow: usize) {
+        for k in 0..self.scratch.timers.len() {
+            let (id, at) = self.scratch.timers[k];
+            let f = &mut self.flows[flow];
             match f.cc_timers.iter_mut().find(|(tid, _)| *tid == id) {
                 Some(slot) => slot.1 = at,
                 None => f.cc_timers.push((id, at)),
@@ -623,6 +643,7 @@ impl Host {
                 );
             }
         }
+        self.scratch.timers.clear();
     }
 
     // ------------------------------------------------------------------
@@ -757,22 +778,30 @@ impl Host {
             );
         }
 
-        let mut actions = CcActions::default();
-        f.cc.on_send(now, wire, &mut actions);
-        self.apply_cc_actions(ctx, i, actions);
+        self.scratch.clear();
+        f.cc.on_send(now, wire, &mut self.scratch);
+        self.apply_cc_actions(ctx, i);
 
         self.port.enqueue(Queued::new(pkt, None));
         self.start_tx(ctx);
     }
 
     /// Starts serialization of the next queued frame if the port is idle.
+    ///
+    /// As in [`crate::switch::Switch::try_transmit`], only `TxDone` is
+    /// scheduled here; [`Host::tx_done`] moves the finished frame out of
+    /// `port.current` and schedules its `Deliver`, avoiding a per-packet
+    /// clone and a second pending event per frame in flight.
     fn start_tx(&mut self, ctx: &mut Ctx) {
         let port = &mut self.port;
         if port.busy {
             return;
         }
-        let Some(att) = port.attach else { return };
+        if port.attach.is_none() {
+            return;
+        }
         let Some(q) = port.dequeue_next() else { return };
+        let att = port.attach.expect("checked above");
         let ser = att.bandwidth.serialize(q.pkt.wire_bytes);
         let now = ctx.queue.now();
         ctx.queue.schedule(
@@ -782,22 +811,27 @@ impl Host {
                 port: PortId(0),
             },
         );
-        ctx.queue.schedule(
-            now + ser + att.delay,
-            Event::Deliver {
-                node: att.peer,
-                port: att.peer_port,
-                pkt: q.pkt.clone(),
-            },
-        );
         port.current = Some(q);
         port.busy = true;
     }
 
-    /// The NIC finished serializing a frame.
+    /// The NIC finished serializing a frame: hand it to the wire.
     pub fn tx_done(&mut self, ctx: &mut Ctx) {
         self.port.busy = false;
-        self.port.finish_current();
+        if let Some(done) = self.port.finish_current() {
+            let att = self
+                .port
+                .attach
+                .expect("transmitting port must be attached");
+            ctx.queue.schedule(
+                ctx.queue.now() + att.delay,
+                Event::Deliver {
+                    node: att.peer,
+                    port: att.peer_port,
+                    pkt: done.pkt,
+                },
+            );
+        }
         self.try_send(ctx);
     }
 }

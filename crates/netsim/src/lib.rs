@@ -52,8 +52,8 @@ pub mod host;
 pub mod network;
 pub mod packet;
 pub mod port;
-pub mod routing;
 pub mod rng;
+pub mod routing;
 pub mod stats;
 pub mod switch;
 pub mod topology;

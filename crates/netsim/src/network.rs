@@ -6,8 +6,8 @@ use crate::event::{Event, EventQueue, LinkId, NodeId, PortId, TimerKind};
 use crate::host::{Host, HostConfig};
 use crate::packet::{FlowId, Priority};
 use crate::port::Attachment;
-use crate::routing::{compute_routes, Edge};
 use crate::rng::SplitMix64;
+use crate::routing::{compute_routes, Edge};
 use crate::stats::{FlowStats, SampledSeries, SamplerConfig, SwitchStats};
 use crate::switch::{Switch, SwitchConfig};
 use crate::trace::Tracer;
@@ -177,6 +177,7 @@ impl NetworkBuilder {
                 tracer: Tracer::disabled(),
             },
             flow_locator: HashMap::new(),
+            flow_order: Vec::new(),
             next_flow_id: 0,
             sampler: SamplerConfig::default(),
             sample_interval: None,
@@ -195,6 +196,10 @@ pub struct Network {
     /// Sampled series (populated when sampling is enabled).
     pub samples: SampledSeries,
     flow_locator: HashMap<FlowId, (NodeId, usize)>,
+    /// Flow ids in registration order. Ids are handed out sequentially,
+    /// so this is always sorted — `take_sample` iterates it instead of
+    /// collecting and sorting `flow_stats` keys every tick.
+    flow_order: Vec<FlowId>,
     next_flow_id: u64,
     sampler: SamplerConfig,
     sample_interval: Option<Duration>,
@@ -261,8 +266,11 @@ impl Network {
         let id = FlowId(self.next_flow_id);
         self.next_flow_id += 1;
         let line = self.line_rate(src);
-        let idx = self.host_mut(src).add_flow(id, dst, priority, make_cc(line));
+        let idx = self
+            .host_mut(src)
+            .add_flow(id, dst, priority, make_cc(line));
         self.flow_locator.insert(id, (src, idx));
+        self.flow_order.push(id);
         self.ctx.flow_stats.insert(id, FlowStats::default());
         id
     }
@@ -404,14 +412,21 @@ impl Network {
                 .or_default()
                 .push(now, depth as f64);
         }
-        let flow_ids: Vec<FlowId> = if self.sampler.all_flows || self.sampler.flows.is_empty() {
-            let mut ids: Vec<FlowId> = self.ctx.flow_stats.keys().copied().collect();
-            ids.sort();
-            ids
+        // `flow_order` is kept sorted by construction (sequential ids),
+        // so no per-tick collect+sort; index loops avoid cloning the
+        // sampler's flow lists every sample.
+        let use_all = self.sampler.all_flows || self.sampler.flows.is_empty();
+        let n = if use_all {
+            self.flow_order.len()
         } else {
-            self.sampler.flows.clone()
+            self.sampler.flows.len()
         };
-        for id in flow_ids {
+        for k in 0..n {
+            let id = if use_all {
+                self.flow_order[k]
+            } else {
+                self.sampler.flows[k]
+            };
             let bytes = self
                 .ctx
                 .flow_stats
@@ -423,7 +438,8 @@ impl Network {
                 .or_default()
                 .push(now, bytes as f64);
         }
-        for &id in &self.sampler.rate_flows.clone() {
+        for k in 0..self.sampler.rate_flows.len() {
+            let id = self.sampler.rate_flows[k];
             let rate = self.flow_rate(id).as_gbps_f64();
             self.samples
                 .flow_rates
@@ -466,7 +482,10 @@ mod tests {
         let (mut net, h1, h2) = tiny();
         let f0 = net.add_flow(h1, h2, DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
         let f1 = net.add_flow(h2, h1, DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
-        assert_eq!((f0, f1), (crate::packet::FlowId(0), crate::packet::FlowId(1)));
+        assert_eq!(
+            (f0, f1),
+            (crate::packet::FlowId(0), crate::packet::FlowId(1))
+        );
         assert_eq!(net.flow_rate(f0), Bandwidth::gbps(40));
         assert_eq!(net.flow_stats(f1).sent_pkts, 0);
     }

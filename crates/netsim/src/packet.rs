@@ -115,9 +115,20 @@ pub struct Packet {
 
 impl Packet {
     /// Builds a data segment of `payload` bytes.
-    pub fn data(src: NodeId, dst: NodeId, flow: FlowId, priority: Priority, psn: u64, payload: u64) -> Packet {
+    pub fn data(
+        src: NodeId,
+        dst: NodeId,
+        flow: FlowId,
+        priority: Priority,
+        psn: u64,
+        payload: u64,
+    ) -> Packet {
         Packet {
-            kind: PacketKind::Data { psn, payload, eom: false },
+            kind: PacketKind::Data {
+                psn,
+                payload,
+                eom: false,
+            },
             src,
             dst,
             flow,
@@ -129,9 +140,20 @@ impl Packet {
 
     /// Builds a cumulative ACK (optionally carrying DCTCP-style ECN-echo
     /// counts).
-    pub fn ack(src: NodeId, dst: NodeId, flow: FlowId, cum_psn: u64, acked: u32, marked: u32) -> Packet {
+    pub fn ack(
+        src: NodeId,
+        dst: NodeId,
+        flow: FlowId,
+        cum_psn: u64,
+        acked: u32,
+        marked: u32,
+    ) -> Packet {
         Packet {
-            kind: PacketKind::Ack { cum_psn, acked, marked },
+            kind: PacketKind::Ack {
+                cum_psn,
+                acked,
+                marked,
+            },
             src,
             dst,
             flow,
@@ -284,7 +306,13 @@ mod tests {
 
     #[test]
     fn control_packets_use_control_priority() {
-        assert_eq!(Packet::cnp(n(0), n(1), FlowId(1)).priority, CONTROL_PRIORITY);
-        assert_eq!(Packet::ack(n(0), n(1), FlowId(1), 0, 0, 0).priority, CONTROL_PRIORITY);
+        assert_eq!(
+            Packet::cnp(n(0), n(1), FlowId(1)).priority,
+            CONTROL_PRIORITY
+        );
+        assert_eq!(
+            Packet::ack(n(0), n(1), FlowId(1), 0, 0, 0).priority,
+            CONTROL_PRIORITY
+        );
     }
 }

@@ -131,8 +131,7 @@ impl Port {
     /// True when some queue holds a transmittable packet right now.
     pub fn has_eligible(&self) -> bool {
         !self.pfc_queue.is_empty()
-            || (0..NUM_PRIORITIES)
-                .any(|p| !self.rx_paused[p] && !self.queues[p].is_empty())
+            || (0..NUM_PRIORITIES).any(|p| !self.rx_paused[p] && !self.queues[p].is_empty())
     }
 
     /// Called when a packet finishes serializing: drops the byte accounting

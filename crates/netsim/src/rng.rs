@@ -4,8 +4,9 @@
 //! We deliberately avoid pulling `rand` into the substrate: the simulator
 //! needs only a fast, seedable, reproducible stream, and keeping it inline
 //! guarantees run-for-run determinism is independent of external crate
-//! versions. Workload generation (which wants distributions) uses `rand` in
-//! the `workloads` crate instead.
+//! versions. The `workloads` crate builds its distributions on this same
+//! generator, so a whole run is a pure function of config + seed with no
+//! external-crate randomness anywhere.
 
 /// SplitMix64: tiny, fast, passes BigCrush for our purposes; used by many
 /// simulators for exactly this role.
@@ -51,6 +52,20 @@ impl SplitMix64 {
         debug_assert!(n > 0);
         // Multiply-shift; bias is negligible for simulator-sized n.
         ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniformly picks one element of a nonempty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// Fisher–Yates shuffle, deterministic under the seed.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
     }
 }
 
@@ -128,6 +143,31 @@ mod tests {
             seen[v as usize] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn pick_is_uniform_ish_and_in_range() {
+        let mut r = SplitMix64::new(21);
+        let items = [10, 20, 30, 40];
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            let v = *r.pick(&items);
+            counts[(v / 10 - 1) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 800), "{counts:?}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seed_stable() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b: Vec<u32> = (0..50).collect();
+        SplitMix64::new(9).shuffle(&mut a);
+        SplitMix64::new(9).shuffle(&mut b);
+        assert_eq!(a, b, "same seed, same permutation");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(a, sorted, "50 elements almost surely move");
     }
 
     #[test]

@@ -21,8 +21,8 @@ use crate::event::{Event, NodeId, PortId};
 use crate::network::Ctx;
 use crate::packet::{Packet, PacketKind, NUM_PRIORITIES};
 use crate::port::{Port, Queued};
-use crate::routing::RouteTable;
 use crate::rng::mix64;
+use crate::routing::RouteTable;
 use crate::stats::SwitchStats;
 use crate::trace::{TraceEvent, TraceKind};
 
@@ -196,10 +196,7 @@ impl Switch {
             if !port.tx_pause_sent[prio] && self.buffer.should_pause(in_port.0, prio) {
                 port.tx_pause_sent[prio] = true;
                 self.stats.pause_tx += 1;
-                let peer = port
-                    .attach
-                    .expect("packet arrived on unattached port")
-                    .peer;
+                let peer = port.attach.expect("packet arrived on unattached port").peer;
                 port.pfc_queue
                     .push_back(Packet::pfc(self.id, peer, prio as u8, true));
                 self.paused_ingress.push((in_port.0, prio));
@@ -254,8 +251,7 @@ impl Switch {
                         // Quantize |Fb| to 6 bits against the maximum
                         // |Fb| = (1 + 2w) * q_eq.
                         let fb_max = (1.0 + 2.0 * qcn.w) * qcn.q_eq_bytes as f64;
-                        let quantized =
-                            (((-fb) / fb_max).min(1.0) * 63.0).round() as u8;
+                        let quantized = (((-fb) / fb_max).min(1.0) * 63.0).round() as u8;
                         if quantized > 0 {
                             let fb_pkt =
                                 Packet::qcn_feedback(self.id, pkt.src, pkt.flow, quantized);
@@ -296,13 +292,21 @@ impl Switch {
 
     /// Starts transmission on `pid` if the transmitter is idle and a packet
     /// is eligible.
+    ///
+    /// Only the `TxDone` event is scheduled here; the matching `Deliver`
+    /// is scheduled by [`Switch::tx_done`], which *moves* the packet out
+    /// of `port.current` — one pending event per in-flight packet instead
+    /// of two, and no per-packet clone.
     pub fn try_transmit(&mut self, ctx: &mut Ctx, pid: PortId) {
         let port = &mut self.ports[pid.0];
         if port.busy {
             return;
         }
-        let Some(att) = port.attach else { return };
+        if port.attach.is_none() {
+            return;
+        }
         let Some(q) = port.dequeue_next() else { return };
+        let att = port.attach.expect("checked above");
         let ser = att.bandwidth.serialize(q.pkt.wire_bytes);
         let now = ctx.queue.now();
         ctx.queue.schedule(
@@ -312,26 +316,30 @@ impl Switch {
                 port: pid,
             },
         );
-        ctx.queue.schedule(
-            now + ser + att.delay,
-            Event::Deliver {
-                node: att.peer,
-                port: att.peer_port,
-                pkt: q.pkt.clone(),
-            },
-        );
         port.current = Some(q);
         port.busy = true;
     }
 
-    /// A packet finished serializing on `pid`: release buffer space, check
-    /// RESUMEs, and keep transmitting.
+    /// A packet finished serializing on `pid`: hand it to the wire (its
+    /// `Deliver` fires one propagation delay later), release buffer space,
+    /// check RESUMEs, and keep transmitting.
     pub fn tx_done(&mut self, ctx: &mut Ctx, pid: PortId) {
         let port = &mut self.ports[pid.0];
         port.busy = false;
+        let att = port.attach.expect("transmitting port must be attached");
         if let Some(done) = port.finish_current() {
-            if let Some((ing_port, prio)) = done.ingress {
-                self.buffer.release(ing_port, prio, done.pkt.wire_bytes);
+            let ingress = done.ingress;
+            let wire = done.pkt.wire_bytes;
+            ctx.queue.schedule(
+                ctx.queue.now() + att.delay,
+                Event::Deliver {
+                    node: att.peer,
+                    port: att.peer_port,
+                    pkt: done.pkt,
+                },
+            );
+            if let Some((ing_port, prio)) = ingress {
+                self.buffer.release(ing_port, prio, wire);
                 // Any release can make a paused ingress resumable — its
                 // own queue drained, or the pool freed up and the dynamic
                 // threshold rose. Re-check every currently paused pair.
@@ -395,9 +403,8 @@ mod tests {
     #[test]
     fn route_is_deterministic_per_flow() {
         let sw = test_switch();
-        let pkt = |flow: u64| {
-            Packet::data(NodeId(5), NodeId(11), FlowId(flow), DATA_PRIORITY, 0, 1000)
-        };
+        let pkt =
+            |flow: u64| Packet::data(NodeId(5), NodeId(11), FlowId(flow), DATA_PRIORITY, 0, 1000);
         for flow in 0..50 {
             let a = sw.route(&pkt(flow), 42).unwrap();
             let b = sw.route(&pkt(flow), 42).unwrap();
@@ -420,8 +427,9 @@ mod tests {
     fn salt_changes_the_draw() {
         let sw = test_switch();
         let pkt = Packet::data(NodeId(5), NodeId(11), FlowId(7), DATA_PRIORITY, 0, 1000);
-        let draws: std::collections::HashSet<_> =
-            (0..32u64).map(|salt| sw.route(&pkt, salt).unwrap()).collect();
+        let draws: std::collections::HashSet<_> = (0..32u64)
+            .map(|salt| sw.route(&pkt, salt).unwrap())
+            .collect();
         assert!(draws.len() > 1, "different salts reach different ports");
     }
 

@@ -193,8 +193,6 @@ pub fn parking_lot(
     }
 }
 
-
-
 /// A k-ary fat tree (beyond the paper's testbed: for scalability studies).
 pub struct FatTree {
     /// The built network.
@@ -223,7 +221,9 @@ pub fn fat_tree(
     assert!(k >= 2 && k.is_multiple_of(2), "fat tree arity must be even");
     let half = k / 2;
     let mut b = NetworkBuilder::new(seed);
-    let cores: Vec<NodeId> = (0..half * half).map(|_| b.switch(switch_cfg.clone())).collect();
+    let cores: Vec<NodeId> = (0..half * half)
+        .map(|_| b.switch(switch_cfg.clone()))
+        .collect();
     let mut aggs = Vec::with_capacity(k * half);
     let mut edges = Vec::with_capacity(k * half);
     let mut hosts = Vec::with_capacity(k * half * half);

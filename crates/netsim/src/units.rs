@@ -276,8 +276,14 @@ mod tests {
 
     #[test]
     fn serialization_is_exact_at_10g_and_100g() {
-        assert_eq!(Bandwidth::gbps(10).serialize(1500), Duration::from_nanos(1200));
-        assert_eq!(Bandwidth::gbps(100).serialize(1500), Duration::from_nanos(120));
+        assert_eq!(
+            Bandwidth::gbps(10).serialize(1500),
+            Duration::from_nanos(1200)
+        );
+        assert_eq!(
+            Bandwidth::gbps(100).serialize(1500),
+            Duration::from_nanos(120)
+        );
     }
 
     #[test]

@@ -77,9 +77,9 @@ fn sampler_series_are_well_formed() {
         SwitchConfig::paper_default(),
         1,
     );
-    let f = s
-        .net
-        .add_flow(s.hosts[0], s.hosts[2], DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+    let f = s.net.add_flow(s.hosts[0], s.hosts[2], DATA_PRIORITY, |l| {
+        Box::new(NoCc::new(l))
+    });
     s.net.send_message(f, u64::MAX, Time::ZERO);
     s.net.enable_sampling(
         Duration::from_micros(100),
@@ -124,9 +124,9 @@ fn hooks_start_flows_mid_run() {
         SwitchConfig::paper_default(),
         1,
     );
-    let f1 = s
-        .net
-        .add_flow(s.hosts[0], s.hosts[2], DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+    let f1 = s.net.add_flow(s.hosts[0], s.hosts[2], DATA_PRIORITY, |l| {
+        Box::new(NoCc::new(l))
+    });
     s.net.send_message(f1, u64::MAX, Time::ZERO);
     s.net.schedule_hook(
         Time::from_millis(5),
@@ -161,12 +161,7 @@ fn mixed_speed_links() {
     b.connect(h100, sw, Bandwidth::gbps(100), d);
     b.connect(sink, sw, Bandwidth::gbps(100), d);
     let mut net = b.build();
-    let flows = [
-        (h10, 10.0),
-        (h40, 40.0),
-        (h100, 100.0),
-    ]
-    .map(|(h, expect)| {
+    let flows = [(h10, 10.0), (h40, 40.0), (h100, 100.0)].map(|(h, expect)| {
         let f = net.add_flow(h, sink, DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
         net.send_message(f, u64::MAX, Time::ZERO);
         (f, expect)

@@ -1,0 +1,184 @@
+#![warn(missing_docs)]
+
+//! # proptest (offline shim)
+//!
+//! This container builds with no access to crates.io, so the real
+//! `proptest` cannot be fetched. This crate is a drop-in stand-in for the
+//! *subset* of proptest's API the workspace uses:
+//!
+//! * the `proptest! { ... }` macro (with an optional leading
+//!   `#![proptest_config(...)]`),
+//! * `prop_assert!` / `prop_assert_eq!`,
+//! * range strategies (`0u64..100`, `0.0f64..=1.0`), tuples of ranges, and
+//!   `prop::collection::vec(strategy, size_range)`,
+//! * `ProptestConfig::with_cases(n)`.
+//!
+//! Semantics differ from the real crate in two deliberate ways:
+//!
+//! * **no shrinking** — a failing case prints its generated inputs so it
+//!   can be pinned as an explicit regression test instead,
+//! * **fixed seeding** — the generator is seeded from the test's name, so
+//!   every run explores the same case sequence and failures reproduce
+//!   without a persistence file. `.proptest-regressions` files are kept in
+//!   the tree for the day the real crate is swapped back in, but are not
+//!   read by this shim; pin their shrunken cases as plain `#[test]`s.
+
+pub mod strategy;
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// The real proptest defaults to 256 cases; 64 keeps the
+    /// simulation-heavy suites fast while still exploring broadly.
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic generator seeded from the test name: every run of a given
+/// test explores the identical case sequence.
+pub fn test_rng(test_name: &str) -> strategy::TestRng {
+    // FNV-1a over the name, mixed into a fixed session constant.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    strategy::TestRng::new(h ^ 0x9E37_79B9_7F4A_7C15)
+}
+
+/// The glob-import surface test files use (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Namespace mirror of proptest's `prop` module.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+///
+/// The real macro returns a `TestCaseError`; the shim panics, which the
+/// per-case harness catches to report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( cfg = ($cfg:expr);
+      $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_rng(stringify!($name));
+                for __case in 0..__config.cases {
+                    $( let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng); )+
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body)
+                    );
+                    if let Err(__panic) = __result {
+                        eprintln!(
+                            "proptest {}: case {}/{} failed with inputs: {}",
+                            stringify!($name), __case + 1, __config.cases, __inputs
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, f in 0.25f64..=0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..=0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_respects_size_and_element_bounds(v in prop::collection::vec(0u8..4, 1..30)) {
+            prop_assert!(!v.is_empty() && v.len() < 30);
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn tuples_compose(pair in prop::collection::vec((0usize..3, 10u64..20), 1..10)) {
+            for (a, b) in pair {
+                prop_assert!(a < 3);
+                prop_assert!((10..20).contains(&b));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_attribute_parses(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn same_test_name_same_stream() {
+        let mut a = crate::test_rng("abc");
+        let mut b = crate::test_rng("abc");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

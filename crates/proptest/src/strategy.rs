@@ -1,0 +1,226 @@
+//! Value-generation strategies: the shim's answer to proptest's `Strategy`.
+//!
+//! A strategy is anything that can produce a value from the deterministic
+//! [`TestRng`]. Ranges, inclusive ranges, tuples of strategies, and
+//! [`vec`] collections are supported — the subset the workspace's property
+//! tests actually use.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 — the same tiny generator `netsim::rng` uses (duplicated
+/// here so the shim depends on nothing).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// Produces values of `Value` from the deterministic test generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        // next_f64 is in [0, 1); scale by the next representable step so
+        // the upper endpoint is reachable.
+        let (lo, hi) = (*self.start(), *self.end());
+        let u = rng.below(1 << 53) as f64 / ((1u64 << 53) - 1) as f64;
+        lo + u * (hi - lo)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident/$v:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A/a)
+    (A/a, B/b)
+    (A/a, B/b, C/c)
+    (A/a, B/b, C/c, D/d)
+    (A/a, B/b, C/c, D/d, E/e)
+    (A/a, B/b, C/c, D/d, E/e, F/f)
+}
+
+/// Length bounds for [`vec`], mirroring proptest's `SizeRange` conversions.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Minimum length (inclusive).
+    pub min: usize,
+    /// Maximum length (inclusive).
+    pub max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n }
+    }
+}
+
+/// A strategy generating `Vec`s of `elem`-generated values.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    len: SizeRange,
+}
+
+/// Generates vectors whose length is drawn from `len` and whose elements
+/// come from `elem` — proptest's `prop::collection::vec`.
+pub fn vec<S: Strategy>(elem: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        len: len.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.min + rng.below((self.len.max - self.len.min + 1) as u64) as usize;
+        (0..n).map(|_| self.elem.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_ranges_cover_and_bound() {
+        let mut rng = TestRng::new(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = (0u64..10).sample(&mut rng);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn inclusive_range_hits_endpoints() {
+        let mut rng = TestRng::new(2);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..200 {
+            match (1u64..=3).sample(&mut rng) {
+                1 => lo_seen = true,
+                3 => hi_seen = true,
+                2 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn f64_ranges_bound() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..1000 {
+            let v = (2.0f64..5.0).sample(&mut rng);
+            assert!((2.0..5.0).contains(&v));
+            let w = (0.0f64..=1.0).sample(&mut rng);
+            assert!((0.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let mut rng = TestRng::new(4);
+        for _ in 0..500 {
+            let v = vec(0u8..4, 2..6).sample(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+}

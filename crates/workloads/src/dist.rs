@@ -7,26 +7,30 @@
 //! a large count of small control/metadata transfers, a body of medium
 //! reads/writes, and a heavy tail of multi-megabyte storage transfers that
 //! carries most of the bytes.
+//!
+//! All sampling runs on `netsim::rng::SplitMix64`, the simulator's own
+//! deterministic generator, so workload draws are a pure function of the
+//! seed with no external-crate randomness.
 
-use rand::Rng;
+use netsim::rng::SplitMix64;
 
 /// Samples an exponential with the given mean via inverse transform.
-pub fn exponential<R: Rng>(rng: &mut R, mean: f64) -> f64 {
-    let u: f64 = rng.random();
+pub fn exponential(rng: &mut SplitMix64, mean: f64) -> f64 {
+    let u: f64 = rng.next_f64();
     -(1.0 - u).ln() * mean
 }
 
 /// Samples a log-normal via Box–Muller.
-pub fn log_normal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
-    let u1: f64 = rng.random::<f64>().max(1e-12);
-    let u2: f64 = rng.random();
+pub fn log_normal(rng: &mut SplitMix64, mu: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.next_f64().max(1e-12);
+    let u2: f64 = rng.next_f64();
     let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
     (mu + sigma * z).exp()
 }
 
 /// Samples a bounded Pareto on `[xm, cap]` with shape `alpha`.
-pub fn bounded_pareto<R: Rng>(rng: &mut R, xm: f64, alpha: f64, cap: f64) -> f64 {
-    let u: f64 = rng.random::<f64>().min(1.0 - 1e-12);
+pub fn bounded_pareto(rng: &mut SplitMix64, xm: f64, alpha: f64, cap: f64) -> f64 {
+    let u: f64 = rng.next_f64().min(1.0 - 1e-12);
     (xm / (1.0 - u).powf(1.0 / alpha)).min(cap)
 }
 
@@ -56,8 +60,8 @@ impl CloudStorageDist {
     /// * medium: log-normal centred ~128 KB (metadata, small objects),
     /// * large: bounded Pareto 1 MB–64 MB, α = 1.2 (storage transfers —
     ///   the paper's user transfers, cf. the 4 MB transfers of §2.2).
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
-        let u: f64 = rng.random();
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        let u: f64 = rng.next_f64();
         let bytes = if u < self.p_small {
             log_normal(rng, (4096.0f64).ln(), 0.7)
         } else if u < self.p_small + self.p_medium {
@@ -70,7 +74,7 @@ impl CloudStorageDist {
 
     /// Empirical mean of the distribution (bytes), estimated with `n`
     /// samples — used to convert a target load into an arrival rate.
-    pub fn mean_bytes<R: Rng>(&self, rng: &mut R, n: usize) -> f64 {
+    pub fn mean_bytes(&self, rng: &mut SplitMix64, n: usize) -> f64 {
         (0..n).map(|_| self.sample(rng) as f64).sum::<f64>() / n as f64
     }
 }
@@ -78,11 +82,8 @@ impl CloudStorageDist {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(1234)
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(1234)
     }
 
     #[test]
@@ -102,7 +103,9 @@ mod tests {
     #[test]
     fn log_normal_median() {
         let mut r = rng();
-        let mut v: Vec<f64> = (0..100_001).map(|_| log_normal(&mut r, (1000.0f64).ln(), 0.5)).collect();
+        let mut v: Vec<f64> = (0..100_001)
+            .map(|_| log_normal(&mut r, (1000.0f64).ln(), 0.5))
+            .collect();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = v[v.len() / 2];
         assert!((median / 1000.0 - 1.0).abs() < 0.05, "median {median}");
@@ -121,7 +124,9 @@ mod tests {
     fn pareto_is_heavy_tailed() {
         let mut r = rng();
         let n = 100_000;
-        let samples: Vec<f64> = (0..n).map(|_| bounded_pareto(&mut r, 1e6, 1.2, 64e6)).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| bounded_pareto(&mut r, 1e6, 1.2, 64e6))
+            .collect();
         let above_10m = samples.iter().filter(|&&x| x > 10e6).count() as f64 / n as f64;
         // α = 1.2 ⇒ P(X > 10·xm) ≈ 10^−1.2 ≈ 6.3%.
         assert!((above_10m - 0.063).abs() < 0.01, "tail mass {above_10m}");
@@ -156,11 +161,11 @@ mod tests {
     fn deterministic_under_seed() {
         let d = CloudStorageDist::default();
         let a: Vec<u64> = {
-            let mut r = StdRng::seed_from_u64(9);
+            let mut r = SplitMix64::new(9);
             (0..100).map(|_| d.sample(&mut r)).collect()
         };
         let b: Vec<u64> = {
-            let mut r = StdRng::seed_from_u64(9);
+            let mut r = SplitMix64::new(9);
             (0..100).map(|_| d.sample(&mut r)).collect()
         };
         assert_eq!(a, b);
@@ -239,9 +244,9 @@ impl EmpiricalDist {
     }
 
     /// Samples one flow size.
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
         let total = *self.cumulative.last().expect("nonempty");
-        let u: f64 = rng.random::<f64>() * total;
+        let u: f64 = rng.next_f64() * total;
         let idx = self
             .cumulative
             .partition_point(|&c| c < u)
@@ -273,7 +278,7 @@ pub enum SizeDist {
 
 impl SizeDist {
     /// Samples one flow size.
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
         match self {
             SizeDist::Cloud(c) => c.sample(rng),
             SizeDist::Empirical(e) => e.sample(rng),
@@ -290,8 +295,6 @@ impl Default for SizeDist {
 #[cfg(test)]
 mod empirical_tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     const SAMPLE: &str = "\
 # bytes,weight — a toy storage trace summary
@@ -303,7 +306,7 @@ mod empirical_tests {
     #[test]
     fn parses_and_samples_in_proportion() {
         let d = EmpiricalDist::from_csv_str(SAMPLE).unwrap();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::new(1);
         let n = 100_000;
         let mut counts = [0usize; 3];
         for _ in 0..n {
@@ -339,7 +342,7 @@ mod empirical_tests {
     #[test]
     fn zero_weight_rows_are_dropped() {
         let d = EmpiricalDist::from_csv_str("10,0\n20,1\n").unwrap();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SplitMix64::new(2);
         for _ in 0..100 {
             assert_eq!(d.sample(&mut rng), 20);
         }
@@ -347,7 +350,7 @@ mod empirical_tests {
 
     #[test]
     fn size_dist_enum_dispatches() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::new(3);
         let cloud = SizeDist::default();
         assert!(cloud.sample(&mut rng) > 0);
         let emp = SizeDist::Empirical(EmpiricalDist::from_csv_str("77,1").unwrap());

@@ -6,10 +6,8 @@ use netsim::cc::CongestionControl;
 use netsim::event::NodeId;
 use netsim::network::Network;
 use netsim::packet::{FlowId, Priority};
+use netsim::rng::SplitMix64;
 use netsim::units::{Bandwidth, Duration, Time};
-use rand::rngs::StdRng;
-use rand::seq::{IndexedRandom, SliceRandom};
-use rand::SeedableRng;
 
 /// A reusable congestion-control factory (one instance per flow).
 pub type CcFactory<'a> = &'a dyn Fn(Bandwidth) -> Box<dyn CongestionControl>;
@@ -68,12 +66,12 @@ pub fn setup_user_traffic(
     seed: u64,
 ) -> Vec<UserPair> {
     assert!(hosts.len() >= 2, "need at least two hosts");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut out = Vec::with_capacity(cfg.pairs);
     for _ in 0..cfg.pairs {
-        let src = *hosts.choose(&mut rng).expect("hosts nonempty");
+        let src = *rng.pick(hosts);
         let dst = loop {
-            let d = *hosts.choose(&mut rng).expect("hosts nonempty");
+            let d = *rng.pick(hosts);
             if d != src {
                 break d;
             }
@@ -117,14 +115,18 @@ pub fn setup_incast(
     cc: CcFactory,
     seed: u64,
 ) -> Vec<FlowId> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut pool: Vec<NodeId> = candidates.iter().copied().filter(|&h| h != target).collect();
+    let mut rng = SplitMix64::new(seed);
+    let mut pool: Vec<NodeId> = candidates
+        .iter()
+        .copied()
+        .filter(|&h| h != target)
+        .collect();
     assert!(
         pool.len() >= degree,
         "need {degree} distinct incast senders, have {}",
         pool.len()
     );
-    pool.shuffle(&mut rng);
+    rng.shuffle(&mut pool);
     pool.truncate(degree);
     pool.iter()
         .map(|&src| {
@@ -136,12 +138,14 @@ pub fn setup_incast(
 }
 
 /// Per-transfer goodputs (Gbps) of a set of flows, from their completion
-/// records — the §6.2 user-flow metric.
+/// records — the §6.2 user-flow metric. Zero-duration completions carry
+/// no measurable rate and are skipped so they cannot drag a mean or
+/// percentile toward zero.
 pub fn transfer_goodputs(net: &Network, flows: &[FlowId], min_bytes: u64) -> Vec<f64> {
     let mut out = Vec::new();
     for &f in flows {
         for c in &net.flow_stats(f).completions {
-            if c.bytes >= min_bytes {
+            if c.bytes >= min_bytes && c.has_duration() {
                 out.push(c.goodput_gbps());
             }
         }
@@ -152,19 +156,21 @@ pub fn transfer_goodputs(net: &Network, flows: &[FlowId], min_bytes: u64) -> Vec
 /// Average receiver goodput (Gbps) of each flow over `[from, to]` — the
 /// §6.2 incast-flow metric (long-running flows that may not complete).
 pub fn flow_goodputs(net: &Network, flows: &[FlowId], from: Time, to: Time) -> Vec<f64> {
-    flows.iter().map(|&f| net.goodput_gbps(f, from, to)).collect()
+    flows
+        .iter()
+        .map(|&f| net.goodput_gbps(f, from, to))
+        .collect()
 }
 
 /// Draws a random element (deterministic under seed); helper for
 /// experiment setup.
 pub fn pick_one<T: Copy>(items: &[T], seed: u64) -> T {
-    let mut rng = StdRng::seed_from_u64(seed);
-    *items.choose(&mut rng).expect("nonempty")
+    *SplitMix64::new(seed).pick(items)
 }
 
 /// Poisson arrival times helper exposed for tests and custom generators.
 pub fn poisson_arrivals(seed: u64, mean: Duration, horizon: Duration) -> Vec<Time> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut t = 0.0;
     let mut out = Vec::new();
     loop {
@@ -214,7 +220,8 @@ mod tests {
         }
         // Run and confirm transfers actually complete.
         s.net.run_until(Time::from_millis(40));
-        let goodputs = transfer_goodputs(&s.net, &pairs.iter().map(|p| p.flow).collect::<Vec<_>>(), 0);
+        let goodputs =
+            transfer_goodputs(&s.net, &pairs.iter().map(|p| p.flow).collect::<Vec<_>>(), 0);
         assert!(!goodputs.is_empty(), "some transfers completed");
         assert!(goodputs.iter().all(|&g| g > 0.0));
     }
@@ -244,7 +251,10 @@ mod tests {
         );
         assert_eq!(flows.len(), 8);
         s.net.run_until(Time::from_millis(20));
-        let total: u64 = flows.iter().map(|&f| s.net.flow_stats(f).delivered_bytes).sum();
+        let total: u64 = flows
+            .iter()
+            .map(|&f| s.net.flow_stats(f).delivered_bytes)
+            .sum();
         assert_eq!(total, 8_000_000, "all rebuild bytes delivered");
     }
 
@@ -280,16 +290,6 @@ mod tests {
         );
         let hosts = s.hosts.clone();
         let cc = nocc();
-        let _ = setup_incast(
-            &mut s.net,
-            &hosts,
-            hosts[0],
-            5,
-            1000,
-            Time::ZERO,
-            3,
-            &cc,
-            1,
-        );
+        let _ = setup_incast(&mut s.net, &hosts, hosts[0], 5, 1000, Time::ZERO, 3, &cc, 1);
     }
 }

@@ -35,8 +35,18 @@ fn main() {
 
     // h0 -> h2 runs DCQCN; h1 -> h3 runs DCTCP. They share only the
     // (uncongested) interconnect; each is bottlenecked by its receiver.
-    let f_dcqcn = net.add_flow(hosts[0], hosts[2], DATA_PRIORITY, dcqcn(DcqcnParams::paper()));
-    let f_dctcp = net.add_flow(hosts[1], hosts[3], DATA_PRIORITY, dctcp(DctcpParams::default_40g()));
+    let f_dcqcn = net.add_flow(
+        hosts[0],
+        hosts[2],
+        DATA_PRIORITY,
+        dcqcn(DcqcnParams::paper()),
+    );
+    let f_dctcp = net.add_flow(
+        hosts[1],
+        hosts[3],
+        DATA_PRIORITY,
+        dctcp(DctcpParams::default_40g()),
+    );
     net.send_message(f_dcqcn, u64::MAX, Time::ZERO);
     net.send_message(f_dctcp, u64::MAX, Time::ZERO);
 

@@ -55,10 +55,7 @@ fn run(cc: CcMode) -> (f64, f64) {
         .sum::<f64>()
         / wcs.len().max(1) as f64;
     // Rebuild progress: completed chunks.
-    let chunks: usize = rebuild_qps
-        .iter()
-        .map(|&qp| rdma.poll_cq(qp).len())
-        .sum();
+    let chunks: usize = rebuild_qps.iter().map(|&qp| rdma.poll_cq(qp).len()).sum();
     (lat_us, chunks as f64 / (8.0 * 16.0) * 100.0)
 }
 

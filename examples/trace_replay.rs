@@ -80,7 +80,10 @@ fn main() {
     }
     // Which flow attracted the most marks?
     let marks = t.of_kind(TraceKind::Marked);
-    if let Some(busiest) = flows.iter().max_by_key(|f| marks.iter().filter(|e| e.flow == **f).count()) {
+    if let Some(busiest) = flows
+        .iter()
+        .max_by_key(|f| marks.iter().filter(|e| e.flow == **f).count())
+    {
         let n = marks.iter().filter(|e| e.flow == *busiest).count();
         println!("  most-marked flow: {busiest:?} with {n} marks");
     }

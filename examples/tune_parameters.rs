@@ -45,7 +45,10 @@ fn main() {
 
     // Step 2: confirm the fixed point is healthy (p* below P_max, queue
     // comfortably under K_max).
-    let fp = solve(&FluidParams::from_protocol(&params, &red, Bandwidth::gbps(40), 1500), 2);
+    let fp = solve(
+        &FluidParams::from_protocol(&params, &red, Bandwidth::gbps(40), 1500),
+        2,
+    );
     println!(
         "step 2: fixed point at 2 flows: p* = {:.4}%, queue = {:.1} KB",
         fp.p * 100.0,
@@ -63,8 +66,12 @@ fn main() {
     );
     let r = fabric.hosts[2];
     let flows = [
-        fabric.net.add_flow(fabric.hosts[0], r, DATA_PRIORITY, dcqcn(params)),
-        fabric.net.add_flow(fabric.hosts[1], r, DATA_PRIORITY, dcqcn(params)),
+        fabric
+            .net
+            .add_flow(fabric.hosts[0], r, DATA_PRIORITY, dcqcn(params)),
+        fabric
+            .net
+            .add_flow(fabric.hosts[1], r, DATA_PRIORITY, dcqcn(params)),
     ];
     for f in flows {
         fabric.net.send_message(f, u64::MAX, Time::ZERO);

@@ -111,7 +111,9 @@ fn lone_flow_runs_at_line_rate_from_packet_one() {
         SwitchConfig::paper_default().with_red(red_deployed()),
         1,
     );
-    let f = s.net.add_flow(s.hosts[0], s.hosts[1], DATA_PRIORITY, dcqcn(p));
+    let f = s
+        .net
+        .add_flow(s.hosts[0], s.hosts[1], DATA_PRIORITY, dcqcn(p));
     s.net.send_message(f, 5_000_000, Time::ZERO);
     s.net.run_until(Time::from_millis(5));
     let st = s.net.flow_stats(f);
@@ -150,8 +152,12 @@ fn late_joiner_reaches_fair_share() {
         },
     );
     s.net.run_until(Time::from_millis(250));
-    let g1 = s.net.goodput_gbps(f1, Time::from_millis(150), Time::from_millis(250));
-    let g2 = s.net.goodput_gbps(f2, Time::from_millis(150), Time::from_millis(250));
+    let g1 = s
+        .net
+        .goodput_gbps(f1, Time::from_millis(150), Time::from_millis(250));
+    let g2 = s
+        .net
+        .goodput_gbps(f2, Time::from_millis(150), Time::from_millis(250));
     assert!((g1 - g2).abs() < 4.0, "converged: {g1:.1} vs {g2:.1}");
     assert!(g1 + g2 > 30.0, "utilization: {:.1}", g1 + g2);
 }

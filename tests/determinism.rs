@@ -17,7 +17,10 @@ fn star_fingerprint(seed: u64) -> Vec<u64> {
     );
     let dst = s.hosts[4];
     let flows: Vec<FlowId> = (0..4)
-        .map(|i| s.net.add_flow(s.hosts[i], dst, DATA_PRIORITY, dcqcn(params)))
+        .map(|i| {
+            s.net
+                .add_flow(s.hosts[i], dst, DATA_PRIORITY, dcqcn(params))
+        })
         .collect();
     for &f in &flows {
         s.net.send_message(f, u64::MAX, Time::ZERO);
@@ -27,7 +30,12 @@ fn star_fingerprint(seed: u64) -> Vec<u64> {
         .iter()
         .flat_map(|&f| {
             let st = s.net.flow_stats(f);
-            [st.delivered_bytes, st.sent_pkts, st.cnps_sent, st.cnps_received]
+            [
+                st.delivered_bytes,
+                st.sent_pkts,
+                st.cnps_sent,
+                st.cnps_received,
+            ]
         })
         .collect();
     fp.push(s.net.events_executed());
@@ -61,11 +69,19 @@ fn clos_ecmp_draws_replay() {
             SwitchConfig::paper_default(),
             seed,
         );
-        let senders = [tb.hosts[0][0], tb.hosts[0][1], tb.hosts[0][2], tb.hosts[3][0]];
+        let senders = [
+            tb.hosts[0][0],
+            tb.hosts[0][1],
+            tb.hosts[0][2],
+            tb.hosts[3][0],
+        ];
         let r = tb.hosts[3][1];
         let flows: Vec<FlowId> = senders
             .iter()
-            .map(|&h| tb.net.add_flow(h, r, DATA_PRIORITY, |l| Box::new(NoCc::new(l))))
+            .map(|&h| {
+                tb.net
+                    .add_flow(h, r, DATA_PRIORITY, |l| Box::new(NoCc::new(l)))
+            })
             .collect();
         for &f in &flows {
             tb.net.send_message(f, u64::MAX, Time::ZERO);
@@ -79,7 +95,10 @@ fn clos_ecmp_draws_replay() {
     assert_eq!(run(3), run(3));
     // And seeds change the ECMP outcome for at least one of a few seeds.
     let base = run(3);
-    assert!((4..8).any(|s| run(s) != base), "ECMP outcomes vary with seed");
+    assert!(
+        (4..8).any(|s| run(s) != base),
+        "ECMP outcomes vary with seed"
+    );
 }
 
 /// Workload generation is deterministic too: the full benchmark pipeline

@@ -68,7 +68,10 @@ fn two_to_one_rates_agree() {
     let mut fsim = FluidSim::incast(params, 2, 1e-6);
     let trace = fsim.run(0.5, 1e-3);
     let fluid_rate = trace.tail_mean(&trace.rates_gbps[0], 0.4);
-    assert!((fluid_rate - 20.0).abs() < 1.0, "fluid settled at {fluid_rate:.2}");
+    assert!(
+        (fluid_rate - 20.0).abs() < 1.0,
+        "fluid settled at {fluid_rate:.2}"
+    );
 }
 
 /// The settled 2:1 queue agrees with the fluid fixed point within a small
@@ -106,7 +109,10 @@ fn marking_probability_matches_fixed_point() {
         s.net.send_message(f, u64::MAX, Time::ZERO);
     }
     s.net.run_until(Time::from_millis(200));
-    let delivered: u64 = flows.iter().map(|&f| s.net.flow_stats(f).delivered_pkts).sum();
+    let delivered: u64 = flows
+        .iter()
+        .map(|&f| s.net.flow_stats(f).delivered_pkts)
+        .sum();
     let marked: u64 = flows.iter().map(|&f| s.net.flow_stats(f).marked_pkts).sum();
     let frac = marked as f64 / delivered as f64;
     let fp = solve(&FluidParams::paper_40g(), 2);
@@ -124,12 +130,8 @@ fn marking_probability_matches_fixed_point() {
 fn strawman_verdict_transfers_to_packets() {
     // Fluid verdict.
     let red = red_cutoff_strawman();
-    let (_, fluid_diff) = two_flow_convergence(
-        &DcqcnParams::strawman(),
-        &red,
-        Bandwidth::gbps(40),
-        0.3,
-    );
+    let (_, fluid_diff) =
+        two_flow_convergence(&DcqcnParams::strawman(), &red, Bandwidth::gbps(40), 0.3);
     assert!(fluid_diff > 15.0, "fluid: strawman non-convergent");
 
     // Packet verdict: same configuration, staggered start.
@@ -144,8 +146,12 @@ fn strawman_verdict_transfers_to_packets() {
         31,
     );
     let dst = s.hosts[2];
-    let f1 = s.net.add_flow(s.hosts[0], dst, DATA_PRIORITY, dcqcn(cc_params));
-    let f2 = s.net.add_flow(s.hosts[1], dst, DATA_PRIORITY, dcqcn(cc_params));
+    let f1 = s
+        .net
+        .add_flow(s.hosts[0], dst, DATA_PRIORITY, dcqcn(cc_params));
+    let f2 = s
+        .net
+        .add_flow(s.hosts[1], dst, DATA_PRIORITY, dcqcn(cc_params));
     s.net.send_message(f1, u64::MAX, Time::ZERO);
     s.net.send_message(f2, u64::MAX, Time::from_millis(50));
     s.net.enable_sampling(
@@ -156,8 +162,12 @@ fn strawman_verdict_transfers_to_packets() {
         },
     );
     s.net.run_until(Time::from_millis(400));
-    let g1 = s.net.goodput_gbps(f1, Time::from_millis(200), Time::from_millis(400));
-    let g2 = s.net.goodput_gbps(f2, Time::from_millis(200), Time::from_millis(400));
+    let g1 = s
+        .net
+        .goodput_gbps(f1, Time::from_millis(200), Time::from_millis(400));
+    let g2 = s
+        .net
+        .goodput_gbps(f2, Time::from_millis(200), Time::from_millis(400));
     assert!(
         (g1 - g2).abs() > 10.0,
         "packets: strawman stays unfair ({g1:.1} vs {g2:.1})"

@@ -54,9 +54,10 @@ fn clos_is_lossless_with_cascading_pauses() {
     let r = tb.hosts[3][0];
     let mut flows = Vec::new();
     for i in 0..4 {
-        flows.push(tb.net.add_flow(tb.hosts[0][i], r, DATA_PRIORITY, |l| {
-            Box::new(NoCc::new(l))
-        }));
+        flows.push(
+            tb.net
+                .add_flow(tb.hosts[0][i], r, DATA_PRIORITY, |l| Box::new(NoCc::new(l))),
+        );
     }
     for &f in &flows {
         tb.net.send_message(f, u64::MAX, Time::ZERO);
@@ -91,7 +92,9 @@ fn deployed_thresholds_mark_before_pausing() {
     );
     let dst = s.hosts[8];
     for i in 0..8 {
-        let f = s.net.add_flow(s.hosts[i], dst, DATA_PRIORITY, dcqcn(params));
+        let f = s
+            .net
+            .add_flow(s.hosts[i], dst, DATA_PRIORITY, dcqcn(params));
         s.net.send_message(f, u64::MAX, Time::ZERO);
     }
     s.net.run_until(Time::from_millis(50));
@@ -112,7 +115,9 @@ fn misconfigured_thresholds_pause_before_marking() {
     let mut s = star(9, LinkParams::default(), dcqcn_host_config(params), sw, 3);
     let dst = s.hosts[8];
     for i in 0..8 {
-        let f = s.net.add_flow(s.hosts[i], dst, DATA_PRIORITY, dcqcn(params));
+        let f = s
+            .net
+            .add_flow(s.hosts[i], dst, DATA_PRIORITY, dcqcn(params));
         s.net.send_message(f, u64::MAX, Time::ZERO);
     }
     s.net.run_until(Time::from_millis(50));
@@ -137,14 +142,20 @@ fn disabling_pfc_loses_packets() {
     );
     let dst = s.hosts[8];
     let flows: Vec<FlowId> = (0..8)
-        .map(|i| s.net.add_flow(s.hosts[i], dst, DATA_PRIORITY, dcqcn(params)))
+        .map(|i| {
+            s.net
+                .add_flow(s.hosts[i], dst, DATA_PRIORITY, dcqcn(params))
+        })
         .collect();
     for &f in &flows {
         s.net.send_message(f, 10_000_000, Time::ZERO);
     }
     s.net.run_until(Time::from_millis(100));
     let st = s.net.switch_stats(s.switch);
-    assert!(st.drops_lossy > 0, "lossy mode drops under the start transient");
+    assert!(
+        st.drops_lossy > 0,
+        "lossy mode drops under the start transient"
+    );
     // Go-back-N still recovers: all messages complete.
     for &f in &flows {
         assert_eq!(
@@ -179,7 +190,9 @@ fn control_class_is_never_paused() {
         s.net.send_message(f, u64::MAX, Time::ZERO);
         flows.push(f);
     }
-    let watched = s.net.add_flow(s.hosts[4], dst, DATA_PRIORITY, dcqcn(params));
+    let watched = s
+        .net
+        .add_flow(s.hosts[4], dst, DATA_PRIORITY, dcqcn(params));
     s.net.send_message(watched, u64::MAX, Time::ZERO);
     s.net.run_until(Time::from_millis(30));
     let st = s.net.flow_stats(watched);

@@ -54,7 +54,10 @@ fn dcqcn_fixes_victim_flow() {
         .map(|s| victim_run(CcChoice::None, 2, s, dur, warm))
         .sum::<f64>()
         / 3.0;
-    assert!(v2 < v0, "victim degrades with remote congestion: {v0:.1} -> {v2:.1}");
+    assert!(
+        v2 < v0,
+        "victim degrades with remote congestion: {v0:.1} -> {v2:.1}"
+    );
 
     let d_dur = Duration::from_millis(300);
     let d_warm = Duration::from_millis(180);
@@ -95,8 +98,12 @@ fn dcqcn_queue_is_shorter_than_dctcp() {
                 s.net
                     .add_flow(s.hosts[i], dst, DATA_PRIORITY, dcqcn(DcqcnParams::paper()))
             } else {
-                s.net
-                    .add_flow(s.hosts[i], dst, DATA_PRIORITY, dctcp(DctcpParams::default_40g()))
+                s.net.add_flow(
+                    s.hosts[i],
+                    dst,
+                    DATA_PRIORITY,
+                    dctcp(DctcpParams::default_40g()),
+                )
             };
             s.net.send_message(f, u64::MAX, Time::ZERO);
         }
@@ -120,10 +127,7 @@ fn dcqcn_queue_is_shorter_than_dctcp() {
     };
     let q_dcqcn = percentile(&sample(true), 90.0);
     let q_dctcp = percentile(&sample(false), 90.0);
-    assert!(
-        q_dcqcn < 110.0,
-        "DCQCN p90 {q_dcqcn:.1} KB (paper 76.6)"
-    );
+    assert!(q_dcqcn < 110.0, "DCQCN p90 {q_dcqcn:.1} KB (paper 76.6)");
     assert!(
         (130.0..200.0).contains(&q_dctcp),
         "DCTCP p90 {q_dctcp:.1} KB rides its 160 KB threshold"
@@ -199,7 +203,10 @@ fn deep_incast_keeps_high_utilization() {
         s.net.run_until(Time::from_millis(200));
         let total: f64 = flows
             .iter()
-            .map(|&f| s.net.goodput_gbps(f, Time::from_millis(100), Time::from_millis(200)))
+            .map(|&f| {
+                s.net
+                    .goodput_gbps(f, Time::from_millis(100), Time::from_millis(200))
+            })
             .sum();
         // Paper reports > 39 Gbps wire rate; our goodput ceiling is
         // 40 × 1436/1500 ≈ 38.3 Gbps. Allow the deep-incast oscillation

@@ -39,7 +39,9 @@ fn read_fan_in_through_the_verbs_api() {
     let initiator = hosts[4];
     // The initiator READs from four servers: the bottleneck is the
     // initiator's own downlink.
-    let qps: Vec<_> = (0..4).map(|i| rdma.create_qp(initiator, hosts[i])).collect();
+    let qps: Vec<_> = (0..4)
+        .map(|i| rdma.create_qp(initiator, hosts[i]))
+        .collect();
     for &qp in &qps {
         rdma.post_read(qp, 10_000_000, Time::ZERO);
     }

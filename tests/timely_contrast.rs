@@ -5,6 +5,9 @@ use dcqcn::prelude::*;
 use netsim::prelude::*;
 use netsim::topology::{star, LinkParams};
 
+/// Congestion-control factory handed to `Network::add_flow`.
+type CcFactory = Box<dyn Fn(Bandwidth) -> Box<dyn CongestionControl>>;
+
 /// TIMELY alone on a clean fabric holds near line rate (its RTT sits
 /// below T_low, so it only ever increases).
 #[test]
@@ -74,18 +77,17 @@ fn timely_controls_forward_congestion() {
 #[test]
 fn reverse_congestion_hurts_timely_not_dcqcn() {
     let run = |use_timely: bool| -> f64 {
-        let (host, mk): (HostConfig, Box<dyn Fn(Bandwidth) -> Box<dyn CongestionControl>>) =
-            if use_timely {
-                (
-                    timely_host_config(),
-                    Box::new(timely(TimelyParams::default_40g())),
-                )
-            } else {
-                (
-                    dcqcn_host_config(DcqcnParams::paper()),
-                    Box::new(dcqcn(DcqcnParams::paper())),
-                )
-            };
+        let (host, mk): (HostConfig, CcFactory) = if use_timely {
+            (
+                timely_host_config(),
+                Box::new(timely(TimelyParams::default_40g())),
+            )
+        } else {
+            (
+                dcqcn_host_config(DcqcnParams::paper()),
+                Box::new(dcqcn(DcqcnParams::paper())),
+            )
+        };
         let mut s = star(
             6,
             LinkParams::default(),
@@ -97,9 +99,9 @@ fn reverse_congestion_hurts_timely_not_dcqcn() {
         s.net.send_message(fwd, u64::MAX, Time::ZERO);
         // Reverse 3:1 incast into the measured flow's *source* host.
         for i in 2..5 {
-            let rf = s
-                .net
-                .add_flow(s.hosts[i], s.hosts[0], DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+            let rf = s.net.add_flow(s.hosts[i], s.hosts[0], DATA_PRIORITY, |l| {
+                Box::new(NoCc::new(l))
+            });
             s.net.send_message(rf, u64::MAX, Time::from_millis(20));
         }
         s.net.enable_sampling(
@@ -110,7 +112,8 @@ fn reverse_congestion_hurts_timely_not_dcqcn() {
             },
         );
         s.net.run_until(Time::from_millis(60));
-        s.net.goodput_gbps(fwd, Time::from_millis(30), Time::from_millis(60))
+        s.net
+            .goodput_gbps(fwd, Time::from_millis(30), Time::from_millis(60))
     };
     let dcqcn_rate = run(false);
     let timely_rate = run(true);

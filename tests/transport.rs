@@ -23,9 +23,9 @@ fn lossless_star(n: usize, seed: u64) -> netsim::topology::Star {
 #[test]
 fn message_accounting_is_exact() {
     let mut s = lossless_star(3, 1);
-    let f = s
-        .net
-        .add_flow(s.hosts[0], s.hosts[2], DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+    let f = s.net.add_flow(s.hosts[0], s.hosts[2], DATA_PRIORITY, |l| {
+        Box::new(NoCc::new(l))
+    });
     let sizes = [1u64, 100, 1436, 1437, 50_000, 1_000_000, 3];
     let mut at = Time::ZERO;
     for &b in &sizes {
@@ -48,9 +48,9 @@ fn message_accounting_is_exact() {
 fn packetization_boundaries() {
     let mut s = lossless_star(3, 1);
     let mtu = HostConfig::default().mtu_payload;
-    let f = s
-        .net
-        .add_flow(s.hosts[0], s.hosts[2], DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+    let f = s.net.add_flow(s.hosts[0], s.hosts[2], DATA_PRIORITY, |l| {
+        Box::new(NoCc::new(l))
+    });
     for b in [1, mtu - 1, mtu, mtu + 1, 2 * mtu, 2 * mtu + 1] {
         s.net.send_message(f, b, Time::ZERO);
     }
@@ -67,12 +67,12 @@ fn packetization_boundaries() {
 #[test]
 fn bidirectional_flows() {
     let mut s = lossless_star(3, 2);
-    let f_ab = s
-        .net
-        .add_flow(s.hosts[0], s.hosts[1], DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
-    let f_ba = s
-        .net
-        .add_flow(s.hosts[1], s.hosts[0], DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+    let f_ab = s.net.add_flow(s.hosts[0], s.hosts[1], DATA_PRIORITY, |l| {
+        Box::new(NoCc::new(l))
+    });
+    let f_ba = s.net.add_flow(s.hosts[1], s.hosts[0], DATA_PRIORITY, |l| {
+        Box::new(NoCc::new(l))
+    });
     s.net.send_message(f_ab, 5_000_000, Time::ZERO);
     s.net.send_message(f_ba, 5_000_000, Time::ZERO);
     s.net.run_until(Time::from_millis(10));
@@ -87,8 +87,9 @@ fn nic_round_robin_is_fair() {
     let mut s = lossless_star(3, 2);
     let flows: Vec<FlowId> = (0..8)
         .map(|_| {
-            s.net
-                .add_flow(s.hosts[0], s.hosts[2], DATA_PRIORITY, |l| Box::new(NoCc::new(l)))
+            s.net.add_flow(s.hosts[0], s.hosts[2], DATA_PRIORITY, |l| {
+                Box::new(NoCc::new(l))
+            })
         })
         .collect();
     for &f in &flows {
@@ -126,7 +127,10 @@ fn nak_recovery_delivers_everything() {
     );
     let dst = s.hosts[8];
     let flows: Vec<FlowId> = (0..8)
-        .map(|i| s.net.add_flow(s.hosts[i], dst, DATA_PRIORITY, dcqcn(params)))
+        .map(|i| {
+            s.net
+                .add_flow(s.hosts[i], dst, DATA_PRIORITY, dcqcn(params))
+        })
         .collect();
     for &f in &flows {
         s.net.send_message(f, 4_000_000, Time::ZERO);
@@ -161,7 +165,10 @@ fn timeout_only_recovery_is_slower() {
         );
         let dst = s.hosts[8];
         let flows: Vec<FlowId> = (0..8)
-            .map(|i| s.net.add_flow(s.hosts[i], dst, DATA_PRIORITY, dcqcn(params)))
+            .map(|i| {
+                s.net
+                    .add_flow(s.hosts[i], dst, DATA_PRIORITY, dcqcn(params))
+            })
             .collect();
         for &f in &flows {
             s.net.send_message(f, 2_000_000, Time::ZERO);
@@ -202,7 +209,10 @@ fn retry_exhaustion_kills_the_qp() {
     );
     let dst = s.hosts[8];
     let flows: Vec<FlowId> = (0..8)
-        .map(|i| s.net.add_flow(s.hosts[i], dst, DATA_PRIORITY, dcqcn(params)))
+        .map(|i| {
+            s.net
+                .add_flow(s.hosts[i], dst, DATA_PRIORITY, dcqcn(params))
+        })
         .collect();
     for &f in &flows {
         s.net.send_message(f, 8_000_000, Time::ZERO);
@@ -236,8 +246,7 @@ fn goodput_bounded_by_capacity() {
         .iter()
         .map(|&f| s.net.flow_stats(f).delivered_bytes)
         .sum();
-    let payload_capacity =
-        40e9 / 8.0 * horizon.as_secs_f64() * (1436.0 / 1500.0);
+    let payload_capacity = 40e9 / 8.0 * horizon.as_secs_f64() * (1436.0 / 1500.0);
     assert!(
         (total as f64) <= payload_capacity * 1.001,
         "{total} bytes vs capacity {payload_capacity}"
