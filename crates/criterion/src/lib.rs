@@ -267,7 +267,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, cfg: Config, tp: Option<Through
         .iter()
         .map(|(d, n)| d.as_secs_f64() / (*n).max(1) as f64)
         .collect();
-    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    per_iter.sort_by(|a, b| a.total_cmp(b));
     let min = per_iter.first().copied().unwrap_or(0.0);
     let med = per_iter[per_iter.len() / 2];
     let max = per_iter.last().copied().unwrap_or(0.0);

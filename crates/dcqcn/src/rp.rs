@@ -192,6 +192,15 @@ impl CongestionControl for DcqcnRp {
     fn name(&self) -> &'static str {
         "dcqcn"
     }
+
+    fn audit_info(&self) -> Option<netsim::cc::CcAuditInfo> {
+        Some(netsim::cc::CcAuditInfo {
+            rate: self.rc,
+            target: self.rt,
+            line: self.line_rate,
+            alpha: Some(self.alpha),
+        })
+    }
 }
 
 /// Convenience: a closure suitable for [`netsim::network::Network::add_flow`].

@@ -152,7 +152,7 @@ pub fn mmm(values: &[f64]) -> String {
         return "(no samples)".to_string();
     }
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.total_cmp(b));
     format!(
         "min={:6.2} med={:6.2} max={:6.2}",
         v[0],

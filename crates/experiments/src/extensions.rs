@@ -65,7 +65,7 @@ pub fn rai_scaling(quick: bool) {
             .iter()
             .map(|&fl| s.net.goodput_gbps(fl, from, end))
             .sum();
-        let qs = &s.net.samples.queues[&(s.switch, port)];
+        let qs = &s.net.samples.queue_depths[&(s.switch, port)];
         let tail: Vec<f64> = qs
             .times
             .iter()

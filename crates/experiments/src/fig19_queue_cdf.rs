@@ -40,7 +40,7 @@ fn queue_samples(cc: CcChoice, n: usize, duration: Duration, seed: u64) -> Vec<f
         },
     );
     s.net.run_until(Time::ZERO + duration);
-    let series = &s.net.samples.queues[&(s.switch, port)];
+    let series = &s.net.samples.queue_depths[&(s.switch, port)];
     // Skip the line-rate-start transient.
     let cut = duration.as_secs_f64() / 4.0;
     series

@@ -1,0 +1,482 @@
+//! Runtime invariant auditor (`sanitize` feature): conservation, ordering
+//! and domain checks hooked at event-dispatch boundaries.
+//!
+//! The simulator's value rests on properties the type system cannot see:
+//!
+//! * **byte conservation** — a switch's global [`crate::buffer::SharedBuffer`]
+//!   occupancy always equals the sum of its per-(port, priority) ingress
+//!   counts, and never exceeds the pool (§4's `s ≤ B`),
+//! * **event-time monotonicity** — dispatched event times never regress
+//!   (determinism depends on the `(time, seq)` total order),
+//! * **PFC pairing** — PAUSE/RESUME alternate per ingress (port, priority),
+//!   and a PFC-protected (lossless) class never drops a packet,
+//! * **go-back-N sanity** — receivers accept PSNs exactly in order, and a
+//!   sender always satisfies `una ≤ send ≤ next`,
+//! * **DCQCN domains** — `0 ≤ α ≤ 1` and `R_C ≤ R_T ≤ line rate`
+//!   (Figure 7's state machine keeps these; Equation 2's decay must never
+//!   push α negative).
+//!
+//! With the feature disabled every [`Auditor`] method is an empty `#[inline]`
+//! stub, so call sites stay unconditional at zero cost. With it enabled,
+//! violations are *recorded* (with event context) rather than panicking, so
+//! tests can both assert that deliberate corruption is caught and that real
+//! experiment runs finish clean ([`Auditor::assert_clean`]).
+
+use crate::event::NodeId;
+use crate::packet::FlowId;
+use crate::units::Time;
+
+/// How often (in dispatched events) the expensive whole-buffer conservation
+/// scan runs. Prime so it cannot phase-lock with periodic workloads.
+#[cfg(feature = "sanitize")]
+const BUFFER_CHECK_PERIOD: u64 = 997;
+
+/// Recorded violations are capped so a systematically broken run cannot
+/// allocate without bound; the total count keeps climbing past the cap.
+#[cfg(feature = "sanitize")]
+const MAX_RECORDED: usize = 64;
+
+/// Which invariant a violation broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// `SharedBuffer.occupied` disagrees with the per-ingress sum, or
+    /// exceeds the configured pool size.
+    BufferConservation,
+    /// An event was dispatched at a time earlier than its predecessor.
+    TimeRegression,
+    /// PAUSE while already paused, or RESUME while not paused.
+    PfcPairing,
+    /// A packet was dropped on a PFC-protected (lossless) class.
+    LosslessDrop,
+    /// A receiver accepted an out-of-order PSN, or a sender's PSN
+    /// bookkeeping lost `una ≤ send ≤ next`.
+    SequenceError,
+    /// A congestion-control algorithm left its documented domain
+    /// (α ∉ [0, 1] or the rate ordering broke).
+    CcDomain,
+}
+
+/// One recorded invariant violation, with event context.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Simulation time of the violating event.
+    pub at: Time,
+    /// The invariant that broke.
+    pub kind: ViolationKind,
+    /// Human-readable context: which switch/port/flow, and the values seen.
+    pub context: String,
+}
+
+#[cfg(feature = "sanitize")]
+#[derive(Debug, Default)]
+struct AuditState {
+    last_event_time: Time,
+    events_since_buffer_check: u64,
+    /// Currently paused ingress (node, port, priority) triples. A BTree
+    /// keeps any future iteration deterministic (simlint: map-iter).
+    paused: std::collections::BTreeSet<(usize, usize, usize)>,
+    /// Next in-order PSN the auditor expects each receiver to accept.
+    expected_psn: std::collections::BTreeMap<u64, u64>,
+    violations: Vec<Violation>,
+    total_violations: u64,
+}
+
+/// The invariant auditor. Lives in [`crate::network::Ctx`] so switches and
+/// hosts can report to it from inside event handlers.
+#[derive(Debug, Default)]
+pub struct Auditor {
+    #[cfg(feature = "sanitize")]
+    state: AuditState,
+}
+
+impl Auditor {
+    /// True when the `sanitize` feature is compiled in and checks run.
+    #[inline]
+    pub const fn enabled() -> bool {
+        cfg!(feature = "sanitize")
+    }
+
+    /// Records a violation (bounded; see `MAX_RECORDED`).
+    #[cfg(feature = "sanitize")]
+    fn violate(&mut self, at: Time, kind: ViolationKind, context: String) {
+        self.state.total_violations += 1;
+        if self.state.violations.len() < MAX_RECORDED {
+            self.state.violations.push(Violation { at, kind, context });
+        }
+    }
+
+    /// An event is about to be dispatched at `at`: check monotonicity.
+    #[inline]
+    pub fn on_event(&mut self, at: Time) {
+        #[cfg(feature = "sanitize")]
+        {
+            if at < self.state.last_event_time {
+                let last = self.state.last_event_time;
+                self.violate(
+                    at,
+                    ViolationKind::TimeRegression,
+                    format!("event at {at} after event at {last}"),
+                );
+            }
+            self.state.last_event_time = at;
+        }
+        #[cfg(not(feature = "sanitize"))]
+        let _ = at;
+    }
+
+    /// Should the (expensive) per-switch buffer conservation scan run now?
+    /// Always false without the feature, so the caller's loop is dead code.
+    #[inline]
+    pub fn buffer_check_due(&mut self) -> bool {
+        #[cfg(feature = "sanitize")]
+        {
+            self.state.events_since_buffer_check += 1;
+            if self.state.events_since_buffer_check >= BUFFER_CHECK_PERIOD {
+                self.state.events_since_buffer_check = 0;
+                return true;
+            }
+            false
+        }
+        #[cfg(not(feature = "sanitize"))]
+        false
+    }
+
+    /// Conservation check for one switch's shared buffer.
+    #[inline]
+    pub fn check_buffer(
+        &mut self,
+        node: NodeId,
+        occupied: u64,
+        ingress_total: u64,
+        pool_bytes: u64,
+        at: Time,
+    ) {
+        #[cfg(feature = "sanitize")]
+        {
+            if occupied != ingress_total {
+                self.violate(
+                    at,
+                    ViolationKind::BufferConservation,
+                    format!(
+                        "switch {}: occupied {occupied} B != ingress sum {ingress_total} B",
+                        node.0
+                    ),
+                );
+            }
+            if occupied > pool_bytes {
+                self.violate(
+                    at,
+                    ViolationKind::BufferConservation,
+                    format!(
+                        "switch {}: occupied {occupied} B exceeds pool {pool_bytes} B",
+                        node.0
+                    ),
+                );
+            }
+        }
+        #[cfg(not(feature = "sanitize"))]
+        let _ = (node, occupied, ingress_total, pool_bytes, at);
+    }
+
+    /// A switch sent PAUSE for ingress (port, priority).
+    #[inline]
+    pub fn on_pause(&mut self, node: NodeId, port: usize, prio: usize, at: Time) {
+        #[cfg(feature = "sanitize")]
+        {
+            if !self.state.paused.insert((node.0, port, prio)) {
+                self.violate(
+                    at,
+                    ViolationKind::PfcPairing,
+                    format!(
+                        "switch {} port {port} prio {prio}: PAUSE while already paused",
+                        node.0
+                    ),
+                );
+            }
+        }
+        #[cfg(not(feature = "sanitize"))]
+        let _ = (node, port, prio, at);
+    }
+
+    /// A switch sent RESUME for ingress (port, priority).
+    #[inline]
+    pub fn on_resume(&mut self, node: NodeId, port: usize, prio: usize, at: Time) {
+        #[cfg(feature = "sanitize")]
+        {
+            if !self.state.paused.remove(&(node.0, port, prio)) {
+                self.violate(
+                    at,
+                    ViolationKind::PfcPairing,
+                    format!(
+                        "switch {} port {port} prio {prio}: RESUME while not paused",
+                        node.0
+                    ),
+                );
+            }
+        }
+        #[cfg(not(feature = "sanitize"))]
+        let _ = (node, port, prio, at);
+    }
+
+    /// A switch dropped a packet of priority `prio`; `lossless` is whether
+    /// that class is PFC-protected there. The paper's premise is that
+    /// PFC-protected classes never drop — any such drop is a violation.
+    #[inline]
+    pub fn on_drop(&mut self, node: NodeId, prio: usize, lossless: bool, at: Time) {
+        #[cfg(feature = "sanitize")]
+        {
+            if lossless {
+                self.violate(
+                    at,
+                    ViolationKind::LosslessDrop,
+                    format!("switch {}: drop on lossless priority {prio}", node.0),
+                );
+            }
+        }
+        #[cfg(not(feature = "sanitize"))]
+        let _ = (node, prio, lossless, at);
+    }
+
+    /// A receiver accepted `psn` of `flow` in order. Go-back-N receivers
+    /// accept exactly 0, 1, 2, … — anything else is a transport bug.
+    #[inline]
+    pub fn on_in_order_accept(&mut self, flow: FlowId, psn: u64, at: Time) {
+        #[cfg(feature = "sanitize")]
+        {
+            let expected = self.state.expected_psn.entry(flow.0).or_insert(0);
+            if psn != *expected {
+                let want = *expected;
+                self.violate(
+                    at,
+                    ViolationKind::SequenceError,
+                    format!("flow {}: accepted PSN {psn}, expected {want}", flow.0),
+                );
+            }
+            self.state.expected_psn.insert(flow.0, psn + 1);
+        }
+        #[cfg(not(feature = "sanitize"))]
+        let _ = (flow, psn, at);
+    }
+
+    /// Sender-side go-back-N bookkeeping must keep `una ≤ send ≤ next`.
+    #[inline]
+    pub fn check_flow_psns(&mut self, flow: FlowId, una: u64, send: u64, next: u64, at: Time) {
+        #[cfg(feature = "sanitize")]
+        {
+            if !(una <= send && send <= next) {
+                self.violate(
+                    at,
+                    ViolationKind::SequenceError,
+                    format!(
+                        "flow {}: PSN order broke (una {una}, send {send}, next {next})",
+                        flow.0
+                    ),
+                );
+            }
+        }
+        #[cfg(not(feature = "sanitize"))]
+        let _ = (flow, una, send, next, at);
+    }
+
+    /// Domain check on a congestion-control algorithm's self-reported
+    /// state (see [`crate::cc::CcAuditInfo`]).
+    #[inline]
+    pub fn check_cc(&mut self, flow: FlowId, info: &crate::cc::CcAuditInfo, at: Time) {
+        #[cfg(feature = "sanitize")]
+        {
+            if let Some(alpha) = info.alpha {
+                if !(0.0..=1.0 + 1e-9).contains(&alpha) || alpha.is_nan() {
+                    self.violate(
+                        at,
+                        ViolationKind::CcDomain,
+                        format!("flow {}: alpha {alpha} outside [0, 1]", flow.0),
+                    );
+                }
+            }
+            if info.rate > info.target || info.target > info.line {
+                self.violate(
+                    at,
+                    ViolationKind::CcDomain,
+                    format!(
+                        "flow {}: rate ordering broke (R_C {} > R_T {} or R_T > line {})",
+                        flow.0, info.rate, info.target, info.line
+                    ),
+                );
+            }
+        }
+        #[cfg(not(feature = "sanitize"))]
+        let _ = (flow, info, at);
+    }
+
+    /// Violations recorded so far (empty without the feature).
+    pub fn violations(&self) -> &[Violation] {
+        #[cfg(feature = "sanitize")]
+        {
+            &self.state.violations
+        }
+        #[cfg(not(feature = "sanitize"))]
+        &[]
+    }
+
+    /// Total violation count, including any past the recording cap.
+    pub fn total_violations(&self) -> u64 {
+        #[cfg(feature = "sanitize")]
+        {
+            self.state.total_violations
+        }
+        #[cfg(not(feature = "sanitize"))]
+        0
+    }
+
+    /// True when no invariant violation has been observed.
+    pub fn is_clean(&self) -> bool {
+        self.total_violations() == 0
+    }
+
+    /// Multi-line report of all recorded violations.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        for v in self.violations() {
+            out.push_str(&format!("[{}] {:?}: {}\n", v.at, v.kind, v.context));
+        }
+        let total = self.total_violations();
+        if total as usize > self.violations().len() {
+            out.push_str(&format!(
+                "... and {} more\n",
+                total - self.violations().len() as u64
+            ));
+        }
+        out
+    }
+
+    /// Panics with the full report if any violation was recorded.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.is_clean(),
+            "invariant auditor recorded {} violation(s):\n{}",
+            self.total_violations(),
+            self.report()
+        );
+    }
+}
+
+#[cfg(all(test, feature = "sanitize"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_regression_is_caught() {
+        let mut a = Auditor::default();
+        a.on_event(Time::from_micros(10));
+        a.on_event(Time::from_micros(10)); // equal is fine
+        assert!(a.is_clean());
+        a.on_event(Time::from_micros(5));
+        assert_eq!(a.violations().len(), 1);
+        assert_eq!(a.violations()[0].kind, ViolationKind::TimeRegression);
+    }
+
+    #[test]
+    fn conservation_mismatch_is_caught() {
+        let mut a = Auditor::default();
+        a.check_buffer(NodeId(3), 1000, 1000, 12_000_000, Time::ZERO);
+        assert!(a.is_clean());
+        a.check_buffer(NodeId(3), 1000, 900, 12_000_000, Time::ZERO);
+        assert_eq!(a.violations()[0].kind, ViolationKind::BufferConservation);
+        // Over-pool occupancy is its own violation.
+        let mut b = Auditor::default();
+        b.check_buffer(NodeId(3), 13_000_000, 13_000_000, 12_000_000, Time::ZERO);
+        assert_eq!(b.violations().len(), 1);
+    }
+
+    #[test]
+    fn pfc_pairing_is_checked() {
+        let mut a = Auditor::default();
+        a.on_pause(NodeId(1), 2, 3, Time::ZERO);
+        a.on_resume(NodeId(1), 2, 3, Time::ZERO);
+        assert!(a.is_clean());
+        a.on_resume(NodeId(1), 2, 3, Time::ZERO); // resume unpaused
+        a.on_pause(NodeId(1), 2, 3, Time::ZERO);
+        a.on_pause(NodeId(1), 2, 3, Time::ZERO); // double pause
+        assert_eq!(a.violations().len(), 2);
+        assert!(a
+            .violations()
+            .iter()
+            .all(|v| v.kind == ViolationKind::PfcPairing));
+    }
+
+    #[test]
+    fn lossless_drop_is_a_violation_lossy_is_not() {
+        let mut a = Auditor::default();
+        a.on_drop(NodeId(0), 3, false, Time::ZERO);
+        assert!(a.is_clean());
+        a.on_drop(NodeId(0), 3, true, Time::ZERO);
+        assert_eq!(a.violations()[0].kind, ViolationKind::LosslessDrop);
+    }
+
+    #[test]
+    fn out_of_order_accept_is_caught() {
+        let mut a = Auditor::default();
+        a.on_in_order_accept(FlowId(7), 0, Time::ZERO);
+        a.on_in_order_accept(FlowId(7), 1, Time::ZERO);
+        assert!(a.is_clean());
+        a.on_in_order_accept(FlowId(7), 3, Time::ZERO);
+        assert_eq!(a.violations()[0].kind, ViolationKind::SequenceError);
+    }
+
+    #[test]
+    fn psn_order_is_checked() {
+        let mut a = Auditor::default();
+        a.check_flow_psns(FlowId(1), 5, 7, 9, Time::ZERO);
+        assert!(a.is_clean());
+        a.check_flow_psns(FlowId(1), 8, 7, 9, Time::ZERO);
+        assert_eq!(a.violations()[0].kind, ViolationKind::SequenceError);
+    }
+
+    #[test]
+    fn cc_domains_are_checked() {
+        use crate::cc::CcAuditInfo;
+        use crate::units::Bandwidth;
+        let mut a = Auditor::default();
+        let ok = CcAuditInfo {
+            rate: Bandwidth::gbps(20),
+            target: Bandwidth::gbps(30),
+            line: Bandwidth::gbps(40),
+            alpha: Some(0.5),
+        };
+        a.check_cc(FlowId(0), &ok, Time::ZERO);
+        assert!(a.is_clean());
+        let bad_alpha = CcAuditInfo {
+            alpha: Some(1.5),
+            ..ok
+        };
+        a.check_cc(FlowId(0), &bad_alpha, Time::ZERO);
+        let bad_order = CcAuditInfo {
+            rate: Bandwidth::gbps(50),
+            ..ok
+        };
+        a.check_cc(FlowId(0), &bad_order, Time::ZERO);
+        assert_eq!(a.violations().len(), 2);
+        assert!(a
+            .violations()
+            .iter()
+            .all(|v| v.kind == ViolationKind::CcDomain));
+    }
+
+    #[test]
+    fn recording_is_capped_but_counted() {
+        let mut a = Auditor::default();
+        for _ in 0..200 {
+            a.on_drop(NodeId(0), 3, true, Time::ZERO);
+        }
+        assert_eq!(a.violations().len(), MAX_RECORDED);
+        assert_eq!(a.total_violations(), 200);
+        assert!(a.report().contains("more"));
+    }
+
+    #[test]
+    fn buffer_check_cadence() {
+        let mut a = Auditor::default();
+        let due: u64 = (0..3000).map(|_| a.buffer_check_due() as u64).sum();
+        assert_eq!(due, 3000 / BUFFER_CHECK_PERIOD);
+    }
+}

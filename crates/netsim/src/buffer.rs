@@ -20,6 +20,7 @@
 //! pauses aggressively.
 
 use crate::packet::NUM_PRIORITIES;
+use crate::units::checked::{checked_accum, checked_drain, scale_bytes};
 
 /// PFC threshold policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -119,10 +120,32 @@ impl SharedBuffer {
         match self.config.threshold {
             PfcThreshold::Static(t) => t,
             PfcThreshold::Dynamic { beta } => {
+                let per_class = beta / NUM_PRIORITIES as f64;
                 let free = self.config.shared_pool().saturating_sub(self.occupied);
-                (beta * free as f64 / NUM_PRIORITIES as f64) as u64
+                scale_bytes(free, per_class)
             }
         }
+    }
+
+    /// Sum of every per-(port, priority) ingress count. Conservation
+    /// invariant (checked by the `sanitize` auditor): this always equals
+    /// [`SharedBuffer::occupied`].
+    pub fn ingress_total(&self) -> u64 {
+        let mut total = 0u64;
+        for port in &self.ingress {
+            for &b in port {
+                total = total.saturating_add(b);
+            }
+        }
+        total
+    }
+
+    /// Test/audit-only corruption hook: overwrites the global occupancy
+    /// without touching the ingress attribution, deliberately breaking the
+    /// conservation invariant so auditor tests can prove it is caught.
+    #[cfg(feature = "sanitize")]
+    pub fn debug_set_occupied(&mut self, bytes: u64) {
+        self.occupied = bytes;
     }
 
     /// Tries to buffer `bytes` arriving on ingress (port, priority).
@@ -133,7 +156,10 @@ impl SharedBuffer {
         match self.occupied.checked_add(bytes) {
             Some(total) if total <= self.config.total_bytes => {
                 self.occupied = total;
-                self.ingress[port][prio] += bytes;
+                // Bounded by `occupied ≤ total_bytes`, so this cannot
+                // actually overflow; checked anyway per counter policy.
+                let ok = checked_accum(&mut self.ingress[port][prio], bytes);
+                debug_assert!(ok, "ingress accumulate overflow");
                 true
             }
             _ => false,
@@ -142,12 +168,14 @@ impl SharedBuffer {
 
     /// Releases `bytes` previously admitted for ingress (port, priority)
     /// (the packet finished transmitting out of the switch, or was dropped
-    /// at egress).
+    /// at egress). An unbalanced release (more than was admitted) leaves
+    /// the counters untouched rather than wrapping; the `sanitize`
+    /// auditor's conservation check then reports the imbalance.
     pub fn release(&mut self, port: usize, prio: usize, bytes: u64) {
-        debug_assert!(self.ingress[port][prio] >= bytes, "release underflow");
-        debug_assert!(self.occupied >= bytes);
-        self.ingress[port][prio] -= bytes;
-        self.occupied -= bytes;
+        let ing_ok = checked_drain(&mut self.ingress[port][prio], bytes);
+        debug_assert!(ing_ok, "release underflow");
+        let occ_ok = checked_drain(&mut self.occupied, bytes);
+        debug_assert!(occ_ok, "occupancy underflow");
     }
 
     /// Should the switch send PAUSE for this ingress (port, priority)?
@@ -160,14 +188,14 @@ impl SharedBuffer {
     /// falls below `t_PFC` by two MTU".
     pub fn should_resume(&self, port: usize, prio: usize) -> bool {
         let t = self.pfc_threshold();
-        self.ingress[port][prio] + 2 * self.config.mtu_bytes <= t
+        self.ingress[port][prio].saturating_add(2 * self.config.mtu_bytes) <= t
     }
 
     /// Per-egress-queue drop limit when PFC is disabled (lossy mode):
     /// a dynamic-alpha style cap of the remaining free pool.
     pub fn lossy_egress_limit(&self) -> u64 {
-        let free = self.config.total_bytes.saturating_sub(self.occupied) as f64;
-        (self.config.lossy_alpha * free) as u64
+        let free = self.config.total_bytes.saturating_sub(self.occupied);
+        scale_bytes(free, self.config.lossy_alpha)
     }
 }
 
@@ -281,6 +309,31 @@ mod tests {
         assert_eq!(l0, mb(12) / 16);
         b.admit(0, 3, mb(8));
         assert_eq!(b.lossy_egress_limit(), mb(4) / 16);
+    }
+
+    #[test]
+    fn ingress_total_tracks_occupied() {
+        let mut b = SharedBuffer::new(BufferConfig::trident2());
+        assert_eq!(b.ingress_total(), 0);
+        assert!(b.admit(0, 3, 1500));
+        assert!(b.admit(5, 1, 64));
+        assert!(b.admit(31, 7, kb(20)));
+        assert_eq!(b.ingress_total(), b.occupied());
+        b.release(5, 1, 64);
+        assert_eq!(b.ingress_total(), b.occupied());
+    }
+
+    #[test]
+    fn unbalanced_release_does_not_wrap() {
+        let mut b = SharedBuffer::new(BufferConfig::trident2());
+        assert!(b.admit(0, 3, 100));
+        // Debug builds assert; release builds must not wrap to ~u64::MAX.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.release(0, 3, 200);
+        }));
+        if result.is_ok() {
+            assert!(b.occupied() <= 100, "no wraparound on bad release");
+        }
     }
 
     #[test]

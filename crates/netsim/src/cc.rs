@@ -42,6 +42,23 @@ impl CcActions {
     }
 }
 
+/// A snapshot of an algorithm's internal state for the `sanitize`
+/// invariant auditor ([`crate::audit::Auditor::check_cc`]). Rate-based
+/// algorithms expose their current/target rates and, if they keep one,
+/// their congestion estimator α; the auditor checks the paper's domains
+/// (`0 ≤ α ≤ 1`, `R_C ≤ R_T ≤ line rate`).
+#[derive(Debug, Clone, Copy)]
+pub struct CcAuditInfo {
+    /// Current sending rate R_C.
+    pub rate: Bandwidth,
+    /// Target rate R_T (equals `rate` for algorithms without one).
+    pub target: Bandwidth,
+    /// The flow's line rate (upper bound on both).
+    pub line: Bandwidth,
+    /// Congestion estimator α, if the algorithm keeps one.
+    pub alpha: Option<f64>,
+}
+
 /// A per-flow congestion-control algorithm.
 pub trait CongestionControl: Send {
     /// Current permitted sending rate. Window-based algorithms return the
@@ -91,6 +108,12 @@ pub trait CongestionControl: Send {
 
     /// Short algorithm name for logs and stats.
     fn name(&self) -> &'static str;
+
+    /// State snapshot for the `sanitize` invariant auditor. `None` (the
+    /// default) opts the algorithm out of domain checks.
+    fn audit_info(&self) -> Option<CcAuditInfo> {
+        None
+    }
 }
 
 /// No congestion control at all: send at line rate forever. This is the

@@ -253,6 +253,9 @@ impl Host {
 
     /// Line rate of the NIC.
     pub fn line_rate(&self) -> Bandwidth {
+        // Topology-construction precondition (hosts are built attached),
+        // queried at flow-registration time — not the packet path.
+        // simlint: allow(hot-unwrap)
         self.port.attach.expect("host NIC not attached").bandwidth
     }
 
@@ -361,6 +364,7 @@ impl Host {
 
         if psn == rcv.expected_psn {
             // In-order: accept.
+            ctx.audit.on_in_order_accept(pkt.flow, psn, now);
             rcv.expected_psn += 1;
             rcv.last_nack_psn = u64::MAX;
             rcv.pkts_since_ack += 1;
@@ -453,7 +457,9 @@ impl Host {
 
         // Message completions.
         while f.unfinished.front().is_some_and(|m| m.last_psn < f.una_psn) {
-            let m = f.unfinished.pop_front().unwrap();
+            let Some(m) = f.unfinished.pop_front() else {
+                break;
+            };
             ctx.stats(id).completions.push(crate::stats::Completion {
                 at: now,
                 started: m.arrived,
@@ -644,6 +650,18 @@ impl Host {
             }
         }
         self.scratch.timers.clear();
+        // Every CC callback routes through here, so this one hook audits
+        // the sender's go-back-N bookkeeping and the algorithm's domain
+        // after each state change. Compiled out without `sanitize`.
+        if cfg!(feature = "sanitize") {
+            let now = ctx.queue.now();
+            let f = &self.flows[flow];
+            ctx.audit
+                .check_flow_psns(f.id, f.una_psn, f.send_psn, f.next_psn, now);
+            if let Some(info) = f.cc.audit_info() {
+                ctx.audit.check_cc(f.id, &info, now);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -713,8 +731,13 @@ impl Host {
             let meta = f.unacked[idx];
             (f.send_psn, meta.payload as u64, meta.eom, true)
         } else {
-            // Cut a fresh packet from the front message.
-            let msg = f.messages.front_mut().expect("has_data checked");
+            // Cut a fresh packet from the front message. `has_data` was
+            // checked by the scheduler, so an empty queue is unreachable;
+            // bail (no packet this round) instead of panicking.
+            let Some(msg) = f.messages.front_mut() else {
+                debug_assert!(false, "send_one without data");
+                return;
+            };
             let payload = msg.remaining.min(mtu);
             msg.remaining -= payload;
             let eom = msg.remaining == 0;
@@ -797,11 +820,8 @@ impl Host {
         if port.busy {
             return;
         }
-        if port.attach.is_none() {
-            return;
-        }
+        let Some(att) = port.attach else { return };
         let Some(q) = port.dequeue_next() else { return };
-        let att = port.attach.expect("checked above");
         let ser = att.bandwidth.serialize(q.pkt.wire_bytes);
         let now = ctx.queue.now();
         ctx.queue.schedule(
@@ -819,10 +839,12 @@ impl Host {
     pub fn tx_done(&mut self, ctx: &mut Ctx) {
         self.port.busy = false;
         if let Some(done) = self.port.finish_current() {
-            let att = self
-                .port
-                .attach
-                .expect("transmitting port must be attached");
+            // `start_tx` only goes busy on an attached port; degrade to
+            // dropping the frame rather than panicking the run.
+            let Some(att) = self.port.attach else {
+                debug_assert!(false, "transmitting port must be attached");
+                return;
+            };
             ctx.queue.schedule(
                 ctx.queue.now() + att.delay,
                 Event::Deliver {

@@ -44,6 +44,7 @@
 //! assert!(gbps > 35.0, "goodput {gbps:.1} Gbps");
 //! ```
 
+pub mod audit;
 pub mod buffer;
 pub mod cc;
 pub mod ecn;

@@ -1,6 +1,7 @@
 //! The network: nodes, links, the event loop, and the experiment-facing
 //! API (build a topology, add flows, inject messages, run, read stats).
 
+use crate::audit::Auditor;
 use crate::cc::CongestionControl;
 use crate::event::{Event, EventQueue, LinkId, NodeId, PortId, TimerKind};
 use crate::host::{Host, HostConfig};
@@ -36,6 +37,9 @@ pub struct Ctx {
     pub flow_stats: HashMap<FlowId, FlowStats>,
     /// Packet-level event tracer (disabled unless enabled on the network).
     pub tracer: Tracer,
+    /// Runtime invariant auditor (active only with the `sanitize`
+    /// feature; otherwise every call is an inlined no-op).
+    pub audit: Auditor,
 }
 
 impl Ctx {
@@ -175,6 +179,7 @@ impl NetworkBuilder {
                 ecmp_salt,
                 flow_stats: HashMap::new(),
                 tracer: Tracer::disabled(),
+                audit: Auditor::default(),
             },
             flow_locator: HashMap::new(),
             flow_order: Vec::new(),
@@ -352,7 +357,36 @@ impl Network {
                 break;
             }
             let (_, event) = self.ctx.queue.pop().expect("peeked");
+            self.ctx.audit.on_event(t);
             self.dispatch(event);
+            if self.ctx.audit.buffer_check_due() {
+                self.audit_buffers_now();
+            }
+        }
+    }
+
+    /// The runtime invariant auditor's findings (always empty without the
+    /// `sanitize` feature).
+    pub fn audit(&self) -> &Auditor {
+        &self.ctx.audit
+    }
+
+    /// Runs the shared-buffer conservation check on every switch right
+    /// now. The event loop does this periodically on its own; tests call
+    /// it directly to audit a hand-corrupted state.
+    pub fn audit_buffers_now(&mut self) {
+        let now = self.ctx.queue.now();
+        let Network { nodes, ctx, .. } = self;
+        for node in nodes.iter() {
+            if let Node::Switch(s) = node {
+                ctx.audit.check_buffer(
+                    s.id,
+                    s.buffer.occupied(),
+                    s.buffer.ingress_total(),
+                    s.buffer.config().total_bytes,
+                    now,
+                );
+            }
         }
     }
 
@@ -407,7 +441,7 @@ impl Network {
                 Node::Host(h) => h.port.total_queued_bytes(),
             };
             self.samples
-                .queues
+                .queue_depths
                 .entry((node, port))
                 .or_default()
                 .push(now, depth as f64);

@@ -3,6 +3,7 @@
 
 use crate::event::{LinkId, NodeId, PortId};
 use crate::packet::{Packet, NUM_PRIORITIES};
+use crate::units::checked::{checked_accum, checked_drain};
 use crate::units::{Bandwidth, Duration};
 use std::collections::VecDeque;
 
@@ -97,7 +98,8 @@ impl Port {
     pub fn enqueue(&mut self, mut q: Queued) {
         let prio = q.pkt.priority as usize;
         q.counted = true;
-        self.queued_bytes[prio] += q.pkt.wire_bytes;
+        let ok = checked_accum(&mut self.queued_bytes[prio], q.pkt.wire_bytes);
+        debug_assert!(ok, "queued_bytes overflow");
         self.queues[prio].push_back(q);
     }
 
@@ -140,8 +142,8 @@ impl Port {
         let q = self.current.take()?;
         if q.counted {
             let prio = q.pkt.priority as usize;
-            debug_assert!(self.queued_bytes[prio] >= q.pkt.wire_bytes);
-            self.queued_bytes[prio] -= q.pkt.wire_bytes;
+            let ok = checked_drain(&mut self.queued_bytes[prio], q.pkt.wire_bytes);
+            debug_assert!(ok, "queued_bytes underflow");
         }
         Some(q)
     }

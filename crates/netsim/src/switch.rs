@@ -25,6 +25,7 @@ use crate::rng::mix64;
 use crate::routing::RouteTable;
 use crate::stats::SwitchStats;
 use crate::trace::{TraceEvent, TraceKind};
+use crate::units::checked::{bytes_to_f64, checked_accum};
 
 /// QCN congestion-point configuration (used only by the QCN baseline).
 #[derive(Debug, Clone, Copy)]
@@ -180,6 +181,8 @@ impl Switch {
         // 1. Shared-pool admission.
         if !self.buffer.admit(in_port.0, prio, wire) {
             self.stats.drops_pool += 1;
+            ctx.audit
+                .on_drop(self.id, prio, self.is_lossless(prio), now);
             ctx.tracer.record(TraceEvent {
                 at: now,
                 node: self.id,
@@ -194,12 +197,19 @@ impl Switch {
         if self.is_lossless(prio) {
             let port = &mut self.ports[in_port.0];
             if !port.tx_pause_sent[prio] && self.buffer.should_pause(in_port.0, prio) {
+                // A delivered packet implies an attached ingress port; if
+                // that ever breaks, skipping the PAUSE (and letting the
+                // auditor flag the eventual drop) beats panicking mid-run.
+                let Some(att) = port.attach else {
+                    debug_assert!(false, "packet arrived on unattached port");
+                    return;
+                };
                 port.tx_pause_sent[prio] = true;
                 self.stats.pause_tx += 1;
-                let peer = port.attach.expect("packet arrived on unattached port").peer;
                 port.pfc_queue
-                    .push_back(Packet::pfc(self.id, peer, prio as u8, true));
+                    .push_back(Packet::pfc(self.id, att.peer, prio as u8, true));
                 self.paused_ingress.push((in_port.0, prio));
+                ctx.audit.on_pause(self.id, in_port.0, prio, now);
                 ctx.tracer.record(TraceEvent {
                     at: now,
                     node: self.id,
@@ -216,6 +226,8 @@ impl Switch {
             // Unroutable: release and count as a drop.
             self.buffer.release(in_port.0, prio, wire);
             self.stats.drops_pool += 1;
+            ctx.audit
+                .on_drop(self.id, prio, self.is_lossless(prio), now);
             return;
         };
 
@@ -239,18 +251,20 @@ impl Switch {
         if pkt.is_data() {
             if let Some(qcn) = self.config.qcn {
                 let st = &mut self.qcn_state[out.0];
-                st.bytes_since_sample += wire;
+                let ok = checked_accum(&mut st.bytes_since_sample, wire);
+                debug_assert!(ok, "qcn byte counter overflow");
                 if st.bytes_since_sample >= qcn.sample_bytes {
                     st.bytes_since_sample = 0;
-                    let q = egress_depth as f64;
-                    let q_off = q - qcn.q_eq_bytes as f64;
-                    let q_delta = q - st.q_old as f64;
+                    let q = bytes_to_f64(egress_depth);
+                    let q_prev = bytes_to_f64(st.q_old);
+                    let q_off = q - bytes_to_f64(qcn.q_eq_bytes);
+                    let q_delta = q - q_prev;
                     st.q_old = egress_depth;
                     let fb = -(q_off + qcn.w * q_delta);
                     if fb < 0.0 {
                         // Quantize |Fb| to 6 bits against the maximum
                         // |Fb| = (1 + 2w) * q_eq.
-                        let fb_max = (1.0 + 2.0 * qcn.w) * qcn.q_eq_bytes as f64;
+                        let fb_max = (1.0 + 2.0 * qcn.w) * bytes_to_f64(qcn.q_eq_bytes);
                         let quantized = (((-fb) / fb_max).min(1.0) * 63.0).round() as u8;
                         if quantized > 0 {
                             let fb_pkt =
@@ -263,9 +277,13 @@ impl Switch {
         }
 
         // 5. Lossy-mode egress cap.
-        if !self.is_lossless(prio) && egress_depth + wire > self.buffer.lossy_egress_limit() {
+        if !self.is_lossless(prio)
+            && egress_depth.saturating_add(wire) > self.buffer.lossy_egress_limit()
+        {
             self.buffer.release(in_port.0, prio, wire);
             self.stats.drops_lossy += 1;
+            ctx.audit
+                .on_drop(self.id, prio, self.is_lossless(prio), now);
             ctx.tracer.record(TraceEvent {
                 at: now,
                 node: self.id,
@@ -302,11 +320,8 @@ impl Switch {
         if port.busy {
             return;
         }
-        if port.attach.is_none() {
-            return;
-        }
+        let Some(att) = port.attach else { return };
         let Some(q) = port.dequeue_next() else { return };
-        let att = port.attach.expect("checked above");
         let ser = att.bandwidth.serialize(q.pkt.wire_bytes);
         let now = ctx.queue.now();
         ctx.queue.schedule(
@@ -326,7 +341,13 @@ impl Switch {
     pub fn tx_done(&mut self, ctx: &mut Ctx, pid: PortId) {
         let port = &mut self.ports[pid.0];
         port.busy = false;
-        let att = port.attach.expect("transmitting port must be attached");
+        // `try_transmit` only goes busy on attached ports, so a missing
+        // attachment here is unreachable; degrade to dropping the packet
+        // on the floor rather than panicking the whole run.
+        let Some(att) = port.attach else {
+            debug_assert!(false, "transmitting port must be attached");
+            return;
+        };
         if let Some(done) = port.finish_current() {
             let ingress = done.ingress;
             let wire = done.pkt.wire_bytes;
@@ -356,13 +377,21 @@ impl Switch {
         while i < self.paused_ingress.len() {
             let (ing_port, prio) = self.paused_ingress[i];
             if self.buffer.should_resume(ing_port, prio) {
+                // Pauses are only recorded for attached ports; if the
+                // attachment vanished, keep the entry rather than panic.
+                let Some(att) = self.ports[ing_port].attach else {
+                    debug_assert!(false, "paused port must be attached");
+                    i += 1;
+                    continue;
+                };
                 self.paused_ingress.swap_remove(i);
                 let ing = &mut self.ports[ing_port];
                 ing.tx_pause_sent[prio] = false;
                 self.stats.resume_tx += 1;
-                let peer = ing.attach.expect("paused port must be attached").peer;
                 ing.pfc_queue
-                    .push_back(Packet::pfc(self.id, peer, prio as u8, false));
+                    .push_back(Packet::pfc(self.id, att.peer, prio as u8, false));
+                ctx.audit
+                    .on_resume(self.id, ing_port, prio, ctx.queue.now());
                 ctx.tracer.record(TraceEvent {
                     at: ctx.queue.now(),
                     node: self.id,

@@ -263,6 +263,96 @@ pub mod bytes {
     }
 }
 
+/// Checked arithmetic and conversion helpers for byte/occupancy counters.
+///
+/// Buffer occupancy, per-queue byte counts and similar accounting values
+/// must never silently wrap (a wrap near `u64::MAX` sneaks past capacity
+/// checks) and must never be poisoned by a NaN from float-factor math
+/// (dynamic PFC thresholds, lossy-α limits). The `simlint` `counter-arith`
+/// rule forbids bare `+`/`-`/`as` on such counters in
+/// `netsim::{buffer,port,switch}`; these helpers are the sanctioned
+/// replacements.
+pub mod checked {
+    /// Adds `bytes` to `counter`. On overflow the counter is left
+    /// untouched and `false` is returned — callers treat that as a failed
+    /// admission, never a wrap.
+    #[inline]
+    #[must_use]
+    pub fn checked_accum(counter: &mut u64, bytes: u64) -> bool {
+        match counter.checked_add(bytes) {
+            Some(v) => {
+                *counter = v;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Subtracts `bytes` from `counter`. On underflow the counter is left
+    /// untouched and `false` is returned — the accounting bug is then
+    /// visible to `debug_assert!`s and the `sanitize` auditor instead of
+    /// wrapping into an absurd occupancy.
+    #[inline]
+    #[must_use]
+    pub fn checked_drain(counter: &mut u64, bytes: u64) -> bool {
+        match counter.checked_sub(bytes) {
+            Some(v) => {
+                *counter = v;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Scales a byte count by a float factor (dynamic thresholds: β·free/8,
+    /// α·free). NaN and negative factors clamp to 0; results beyond
+    /// `u64::MAX` saturate. The result is always a sane byte count.
+    #[inline]
+    pub fn scale_bytes(bytes: u64, factor: f64) -> u64 {
+        // Plain cast, not `bytes_to_f64`: this helper's contract is to
+        // clamp pathological inputs, not assert them away.
+        let v = bytes as f64 * factor;
+        if v.is_nan() || v <= 0.0 {
+            0
+        } else if v >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            v as u64
+        }
+    }
+
+    /// A byte count as `f64` for rate/threshold math. Exact for every
+    /// count below 2^53 bytes (≈ 9 PB) — far beyond any buffer or queue
+    /// this simulator models; the debug assertion keeps that promise
+    /// honest.
+    #[inline]
+    pub fn bytes_to_f64(bytes: u64) -> f64 {
+        debug_assert!(
+            bytes < (1u64 << 53),
+            "byte count {bytes} loses precision as f64"
+        );
+        bytes as f64
+    }
+
+    /// Bytes to bits, saturating instead of wrapping for absurd inputs.
+    #[inline]
+    pub fn bytes_to_bits(bytes: u64) -> u64 {
+        bytes.saturating_mul(8)
+    }
+
+    /// A float Gbps rate as bytes per nanosecond (40 Gbps → 5 B/ns).
+    /// NaN and negative rates clamp to 0.0 so a corrupted rate can never
+    /// poison downstream byte math.
+    #[inline]
+    pub fn gbps_to_bytes_per_ns(gbps: f64) -> f64 {
+        if gbps.is_nan() || gbps <= 0.0 {
+            0.0
+        } else {
+            gbps / 8.0
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,5 +425,42 @@ mod tests {
     fn byte_units_match_paper() {
         assert_eq!(bytes::mb(12), 12_000_000);
         assert_eq!(bytes::kb(200), 200_000);
+    }
+
+    #[test]
+    fn checked_accum_and_drain() {
+        use checked::{checked_accum, checked_drain};
+        let mut c = 1000u64;
+        assert!(checked_accum(&mut c, 500));
+        assert_eq!(c, 1500);
+        assert!(!checked_accum(&mut c, u64::MAX), "overflow rejected");
+        assert_eq!(c, 1500, "counter untouched on overflow");
+        assert!(checked_drain(&mut c, 1500));
+        assert_eq!(c, 0);
+        assert!(!checked_drain(&mut c, 1), "underflow rejected");
+        assert_eq!(c, 0, "counter untouched on underflow");
+    }
+
+    #[test]
+    fn scale_bytes_clamps_pathologies() {
+        use checked::scale_bytes;
+        assert_eq!(scale_bytes(1000, 0.5), 500);
+        assert_eq!(scale_bytes(6_265_600, 1.0), 6_265_600);
+        assert_eq!(scale_bytes(1000, f64::NAN), 0);
+        assert_eq!(scale_bytes(1000, -2.0), 0);
+        assert_eq!(scale_bytes(u64::MAX / 2, 1e30), u64::MAX);
+        // The paper's dynamic threshold: β/8 · free with β = 8 is identity.
+        assert_eq!(scale_bytes(123_456, 8.0 / 8.0), 123_456);
+    }
+
+    #[test]
+    fn conversion_helpers() {
+        use checked::{bytes_to_bits, bytes_to_f64, gbps_to_bytes_per_ns};
+        assert_eq!(bytes_to_bits(1500), 12_000);
+        assert_eq!(bytes_to_bits(u64::MAX), u64::MAX, "saturates");
+        assert_eq!(bytes_to_f64(12_000_000), 12_000_000.0);
+        assert_eq!(gbps_to_bytes_per_ns(40.0), 5.0);
+        assert_eq!(gbps_to_bytes_per_ns(f64::NAN), 0.0);
+        assert_eq!(gbps_to_bytes_per_ns(-1.0), 0.0);
     }
 }

@@ -104,7 +104,7 @@ fn sampler_series_are_well_formed() {
     assert!((g - direct).abs() < 0.5, "goodput {g:.2} vs {direct:.2}");
 
     // Queue series exists and stays tiny for a single flow.
-    let q = &s.net.samples.queues[&(s.switch, PortId(2))];
+    let q = &s.net.samples.queue_depths[&(s.switch, PortId(2))];
     assert!(!q.values.is_empty());
     assert!(q.values.iter().all(|&v| v < 20_000.0));
 

@@ -41,7 +41,7 @@ fn packet_incast(n: usize, millis: u64) -> (Vec<f64>, f64) {
         .iter()
         .map(|&f| s.net.goodput_gbps(f, from, end))
         .collect();
-    let qs = &s.net.samples.queues[&(s.switch, port)];
+    let qs = &s.net.samples.queue_depths[&(s.switch, port)];
     let tail: Vec<f64> = qs
         .times
         .iter()

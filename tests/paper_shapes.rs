@@ -116,7 +116,7 @@ fn dcqcn_queue_is_shorter_than_dctcp() {
             },
         );
         s.net.run_until(Time::from_millis(120));
-        let series = &s.net.samples.queues[&(s.switch, port)];
+        let series = &s.net.samples.queue_depths[&(s.switch, port)];
         series
             .times
             .iter()
