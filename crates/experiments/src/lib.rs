@@ -11,6 +11,7 @@
 //! ```
 
 pub mod common;
+pub mod ext_faults;
 pub mod extensions;
 pub mod runner;
 pub mod scenarios;
@@ -74,7 +75,12 @@ pub fn dispatch(id: &str, quick: bool) -> bool {
         "ext-start" => extensions::fast_start(quick),
         "ext-fattree" => extensions::fat_tree_scale(quick),
         "ext-stability" => extensions::stability(quick),
-        "ext" => extensions::run_all(quick),
+        "ext-linkflap" => ext_faults::link_flap(quick),
+        "ext-pausestorm" => ext_faults::pause_storm(quick),
+        "ext" => {
+            extensions::run_all(quick);
+            ext_faults::run_all(quick);
+        }
         _ => return false,
     }
     true

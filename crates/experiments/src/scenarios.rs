@@ -1,10 +1,13 @@
 //! Reusable testbed scenarios: the §2.2 unfairness and victim-flow setups
-//! on the Figure 2 Clos, and the §6.2 benchmark-traffic runs.
+//! on the Figure 2 Clos, the §6.2 benchmark-traffic runs, and the fault
+//! injection scenarios (link flap, pause storm).
 
 use crate::common::CcChoice;
 use netsim::event::NodeId;
+use netsim::faults::{FaultConfig, FaultPlan};
 use netsim::packet::{FlowId, DATA_PRIORITY};
 use netsim::stats::SamplerConfig;
+use netsim::switch::PfcWatchdogConfig;
 use netsim::topology::{clos_testbed, ClosTestbed, LinkParams};
 use netsim::units::{Duration, Time};
 use workloads::traffic::{
@@ -227,5 +230,199 @@ pub fn benchmark_run(cfg: &BenchmarkConfig) -> BenchmarkResult {
         timeouts,
         aborted,
         events: tb.net.events_executed(),
+    }
+}
+
+/// Results of a [`link_flap_run`]: a goodput timeline plus the
+/// degradation counters the run produced.
+#[derive(Debug, Clone)]
+pub struct LinkFlapResult {
+    /// Aggregate goodput (Gbps) across all flows, in 1 ms bins.
+    pub bins: Vec<f64>,
+    /// Flows that exhausted their transport retries and tore down.
+    pub aborts: usize,
+    /// Route recomputations triggered by link transitions.
+    pub reroutes: u64,
+    /// Packets dropped on the wire while the link was down.
+    pub link_drops: u64,
+}
+
+/// A fabric link (T1–L1) flaps mid-run while eight inter-pod flows cross
+/// it. With route failover the survivors of T1's ECMP set absorb the
+/// traffic within an RTO; without it, flows hashed onto the dead next-hop
+/// black-hole, back off exponentially, and abort once `max_retries` is
+/// spent. The flap window (`down_at`..`up_at`) is sized by the caller so
+/// that black-holed QPs exhaust their budget before the link returns.
+pub fn link_flap_run(
+    cc: CcChoice,
+    failover: bool,
+    seed: u64,
+    down_at: Time,
+    up_at: Time,
+    duration: Duration,
+) -> LinkFlapResult {
+    let mut tb = {
+        // A tight transport budget keeps the abort schedule inside the
+        // flap window: fatal timer at down + (1+1+2+4)·rto = down + 4 ms.
+        let mut host_cfg = cc.host_config();
+        host_cfg.rto = Duration::from_micros(500);
+        host_cfg.max_retries = 3;
+        clos_testbed(
+            2,
+            LinkParams::default(),
+            host_cfg,
+            cc.switch_config(true, false),
+            seed,
+        )
+    };
+    let f = cc.factory();
+    let flows: Vec<FlowId> = (0..8)
+        .map(|i| {
+            let src = tb.hosts[0][i % 2];
+            let dst = tb.hosts[3][(i / 2) % 2];
+            let fl = tb.net.add_flow(src, dst, DATA_PRIORITY, &f);
+            tb.net.send_message(fl, u64::MAX, Time::ZERO);
+            fl
+        })
+        .collect();
+    let link = tb
+        .net
+        .link_between(tb.tors[0], tb.leaves[0])
+        .expect("T1–L1 is a fabric link");
+    let plan = FaultPlan::new()
+        .link_down(down_at, link)
+        .link_up(up_at, link);
+    tb.net.install_faults(
+        &plan,
+        FaultConfig {
+            failover,
+            ..FaultConfig::default()
+        },
+    );
+    tb.net.enable_sampling(
+        Duration::from_micros(200),
+        SamplerConfig {
+            all_flows: true,
+            ..SamplerConfig::default()
+        },
+    );
+    let end = Time::ZERO + duration;
+    tb.net.run_until(end);
+
+    let bin = Duration::from_millis(1);
+    let nbins = (duration.as_secs_f64() / bin.as_secs_f64()).round() as usize;
+    let bins: Vec<f64> = (0..nbins)
+        .map(|i| {
+            let from = Time::ZERO + bin.saturating_mul(i as u64);
+            let to = from + bin;
+            flows
+                .iter()
+                .map(|&fl| tb.net.goodput_gbps(fl, from, to))
+                .sum()
+        })
+        .collect();
+    let aborts = flows
+        .iter()
+        .filter(|&&fl| tb.net.flow_stats(fl).aborted)
+        .count();
+    let fs = tb.net.fault_stats();
+    LinkFlapResult {
+        bins,
+        aborts,
+        reroutes: fs.reroutes,
+        link_drops: fs.link_drops,
+    }
+}
+
+/// Results of a [`pause_storm_victim_run`].
+#[derive(Debug, Clone)]
+pub struct PauseStormResult {
+    /// Victim goodput (Gbps) while the storm is active.
+    pub victim_storm_gbps: f64,
+    /// Victim goodput (Gbps) after the storm ends.
+    pub victim_after_gbps: f64,
+    /// PAUSE frames received at the two spines (congestion spreading).
+    pub spine_pause_rx: u64,
+    /// Watchdog trips across all switches.
+    pub watchdog_trips: u64,
+    /// Watchdog restores across all switches.
+    pub watchdog_restores: u64,
+}
+
+/// The §2.2 victim-flow topology under a malfunctioning NIC instead of an
+/// incast: the receiver R under T4 pause-storms its access link, freezing
+/// T4's egress to it. Traffic from the two T1 senders backs up through
+/// the fabric exactly like Figure 4's congestion spreading — T4 pauses
+/// the leaves, the leaves pause the spines, and eventually T1's uplinks
+/// stall, collapsing the victim flow VS(T1)→VR(T2) whose path never
+/// touches R. A PFC storm watchdog on every switch breaks the chain at
+/// its root; DCQCN additionally drains the senders via ECN.
+pub fn pause_storm_victim_run(
+    cc: CcChoice,
+    watchdog: Option<PfcWatchdogConfig>,
+    seed: u64,
+    storm_from: Time,
+    storm_until: Time,
+    duration: Duration,
+) -> PauseStormResult {
+    let mut tb = {
+        let mut switch_cfg = cc.switch_config(true, false);
+        switch_cfg.watchdog = watchdog;
+        clos_testbed(3, LinkParams::default(), cc.host_config(), switch_cfg, seed)
+    };
+    let storm_host = tb.hosts[3][0];
+    let f = cc.factory();
+    for i in 0..2 {
+        let fl = tb
+            .net
+            .add_flow(tb.hosts[0][i], storm_host, DATA_PRIORITY, &f);
+        tb.net.send_message(fl, u64::MAX, Time::ZERO);
+    }
+    let victim = tb
+        .net
+        .add_flow(tb.hosts[0][2], tb.hosts[1][0], DATA_PRIORITY, &f);
+    tb.net.send_message(victim, u64::MAX, Time::ZERO);
+
+    let plan = FaultPlan::new().pause_storm(
+        storm_host,
+        DATA_PRIORITY,
+        storm_from,
+        storm_until,
+        Duration::from_micros(20),
+    );
+    tb.net.install_faults(&plan, FaultConfig::default());
+    tb.net.enable_sampling(
+        Duration::from_micros(200),
+        SamplerConfig {
+            all_flows: true,
+            ..SamplerConfig::default()
+        },
+    );
+    let end = Time::ZERO + duration;
+    tb.net.run_until(end);
+
+    let mut spine_pause_rx = 0;
+    let (mut trips, mut restores) = (0, 0);
+    for &s in tb.tors.iter().chain(&tb.leaves).chain(&tb.spines) {
+        let st = tb.net.switch_stats(s);
+        trips += st.watchdog_trips;
+        restores += st.watchdog_restores;
+    }
+    for &s in &tb.spines {
+        spine_pause_rx += tb.net.switch_stats(s).pause_rx;
+    }
+    // Skip the first fifth of the storm window so the measurement sees
+    // the spread congestion, not the pre-storm residue.
+    let settle = Duration::from_micros(((storm_until - storm_from).as_secs_f64() * 2e5) as u64);
+    PauseStormResult {
+        victim_storm_gbps: tb
+            .net
+            .goodput_gbps(victim, storm_from + settle, storm_until),
+        victim_after_gbps: tb
+            .net
+            .goodput_gbps(victim, storm_until + Duration::from_millis(1), end),
+        spine_pause_rx,
+        watchdog_trips: trips,
+        watchdog_restores: restores,
     }
 }

@@ -9,8 +9,8 @@ use std::sync::Mutex;
 
 use experiments::common::CcChoice;
 use experiments::runner::{par_map, par_runs};
-use experiments::scenarios::unfairness_run;
-use netsim::units::Duration;
+use experiments::scenarios::{link_flap_run, unfairness_run};
+use netsim::units::{Duration, Time};
 
 /// Serializes tests that mutate `REPRO_THREADS` — the test harness runs
 /// `#[test]` functions concurrently in one process, and the environment
@@ -65,6 +65,41 @@ fn parallel_reproduces_serial_run_for_run() {
     // Run-to-run: a second parallel pass agrees with the first.
     let again = par_runs(&seeds, run);
     assert_bits_eq(&parallel, &again, "repeated parallel runs");
+}
+
+/// A run with an active fault plan — link down, reroute, link up, plus
+/// the dedicated bit-error RNG stream — is still a pure function of
+/// config + seed: fanned out across threads it reproduces the serial
+/// timeline bit-for-bit.
+#[test]
+fn faulted_runs_are_deterministic_under_parallelism() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let faulted = |seed: u64| -> Vec<f64> {
+        let r = link_flap_run(
+            CcChoice::None,
+            true,
+            seed,
+            Time::from_millis(1),
+            Time::from_millis(3),
+            Duration::from_millis(5),
+        );
+        let mut out = r.bins;
+        out.push(r.aborts as f64);
+        out.push(r.reroutes as f64);
+        out.push(r.link_drops as f64);
+        out
+    };
+    let seeds: Vec<u64> = vec![7, 19];
+    let serial: Vec<Vec<f64>> = seeds.iter().map(|&s| faulted(s)).collect();
+    assert!(
+        serial.iter().all(|r| r[r.len() - 1] > 0.0),
+        "the flap really dropped packets on the wire"
+    );
+    set_threads(4);
+    let parallel = par_runs(&seeds, faulted);
+    assert_bits_eq(&serial, &parallel, "faulted REPRO_THREADS=4 vs plain map");
+    let again = par_runs(&seeds, faulted);
+    assert_bits_eq(&parallel, &again, "repeated faulted parallel runs");
 }
 
 #[test]

@@ -79,6 +79,7 @@ struct AuditState {
     expected_psn: std::collections::BTreeMap<u64, u64>,
     violations: Vec<Violation>,
     total_violations: u64,
+    fault_drops: u64,
 }
 
 /// The invariant auditor. Lives in [`crate::network::Ctx`] so switches and
@@ -235,6 +236,50 @@ impl Auditor {
         }
         #[cfg(not(feature = "sanitize"))]
         let _ = (node, prio, lossless, at);
+    }
+
+    /// A frame was destroyed by an *injected* fault (link down or
+    /// bit-error) on a lossless class. Unlike [`Auditor::on_drop`], this is
+    /// never a violation — the fault engine deliberately breaks the
+    /// lossless contract, and the auditor must not confuse injected damage
+    /// with simulator bugs. Tagged drops are counted separately so tests
+    /// can still assert they happened.
+    #[inline]
+    pub fn on_fault_drop(&mut self, node: NodeId, prio: usize, at: Time) {
+        let _ = (node, prio, at); // context kept for symmetry with on_drop
+        #[cfg(feature = "sanitize")]
+        {
+            self.state.fault_drops += 1;
+        }
+    }
+
+    /// A link transition (down *or* up) reset all PFC state on `node`'s
+    /// `port`: forget any pause-pairing obligations for that ingress so the
+    /// next PAUSE after the reset is not misread as a double-pause (and a
+    /// RESUME that never comes is not misread as missing).
+    #[inline]
+    pub fn on_pfc_reset(&mut self, node: NodeId, port: usize) {
+        #[cfg(feature = "sanitize")]
+        {
+            let lo = (node.0, port, 0);
+            let hi = (node.0, port, usize::MAX);
+            let stale: Vec<_> = self.state.paused.range(lo..=hi).copied().collect();
+            for key in stale {
+                self.state.paused.remove(&key);
+            }
+        }
+        #[cfg(not(feature = "sanitize"))]
+        let _ = (node, port);
+    }
+
+    /// Count of fault-tagged lossless drops (0 without the feature).
+    pub fn fault_drops(&self) -> u64 {
+        #[cfg(feature = "sanitize")]
+        {
+            self.state.fault_drops
+        }
+        #[cfg(not(feature = "sanitize"))]
+        0
     }
 
     /// A receiver accepted `psn` of `flow` in order. Go-back-N receivers
@@ -460,6 +505,34 @@ mod tests {
             .violations()
             .iter()
             .all(|v| v.kind == ViolationKind::CcDomain));
+    }
+
+    #[test]
+    fn fault_tagged_drops_are_counted_not_violations() {
+        let mut a = Auditor::default();
+        a.on_fault_drop(NodeId(2), 3, Time::ZERO);
+        a.on_fault_drop(NodeId(2), 3, Time::ZERO);
+        assert!(a.is_clean());
+        assert_eq!(a.fault_drops(), 2);
+        // An *untagged* lossless drop must still be caught: tagging is
+        // opt-in per drop, never a blanket exemption.
+        a.on_drop(NodeId(2), 3, true, Time::ZERO);
+        assert_eq!(a.violations()[0].kind, ViolationKind::LosslessDrop);
+        assert_eq!(a.total_violations(), 1);
+    }
+
+    #[test]
+    fn pfc_reset_clears_pairing_for_that_port_only() {
+        let mut a = Auditor::default();
+        a.on_pause(NodeId(1), 2, 3, Time::ZERO);
+        a.on_pause(NodeId(1), 5, 3, Time::ZERO);
+        // Link reset on (node 1, port 2): its pause obligation vanishes.
+        a.on_pfc_reset(NodeId(1), 2);
+        a.on_pause(NodeId(1), 2, 3, Time::ZERO); // not a double-pause now
+        assert!(a.is_clean());
+        // Port 5 was untouched: a second PAUSE there still violates.
+        a.on_pause(NodeId(1), 5, 3, Time::ZERO);
+        assert_eq!(a.violations()[0].kind, ViolationKind::PfcPairing);
     }
 
     #[test]

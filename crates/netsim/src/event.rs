@@ -87,6 +87,25 @@ pub enum Event {
         /// Index into the network's hook table.
         id: usize,
     },
+    /// A scheduled fault-plan action fires (see [`crate::faults`]).
+    Fault {
+        /// What breaks (or heals).
+        action: crate::faults::FaultAction,
+    },
+    /// A switch's PFC storm watchdog fires for one (port, class): either a
+    /// paused-too-long check or the post-trip restore.
+    Watchdog {
+        /// The switch owning the watchdog.
+        node: NodeId,
+        /// The watched port.
+        port: PortId,
+        /// The watched priority class.
+        class: usize,
+        /// False: check whether the class has been paused beyond the
+        /// threshold. True: restore PAUSE honoring after the recovery
+        /// interval.
+        restore: bool,
+    },
 }
 
 struct Scheduled {

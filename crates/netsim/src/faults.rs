@@ -1,0 +1,410 @@
+//! Deterministic fault injection: link failures, bit errors, pause storms
+//! and ECN misconfiguration, scheduled through the ordinary event queue.
+//!
+//! The paper's deployment experience (§6) is a catalog of the ways a
+//! PFC-protected fabric fails *ugly*: dead links force BGP reroutes, a
+//! malfunctioning NIC can emit a continuous PFC pause storm that freezes
+//! whole sub-trees, and misconfigured switches stop marking. A simulator
+//! that only models the healthy fabric cannot reproduce any of that, so
+//! this module adds a **fault plan**: a declarative list of
+//! `(time, action)` pairs that the network schedules as [`crate::event::Event::Fault`]
+//! events at [`crate::network::Network::install_faults`] time. A run with
+//! a fault plan is exactly as deterministic as one without — the plan is
+//! data, the bit-error draws come from a dedicated [`SplitMix64`] stream
+//! (so they never perturb RED sampling), and everything executes in the
+//! global `(time, seq)` event order.
+//!
+//! The degradation machinery that *reacts* to faults lives with the
+//! component it protects: the PFC storm watchdog in [`crate::switch`], route
+//! failover in [`crate::network`] (re-running [`crate::routing::compute_routes_masked`]
+//! over the live links), and exponential RTO backoff in [`crate::host`].
+
+use crate::event::{LinkId, NodeId};
+use crate::rng::SplitMix64;
+use crate::units::{Duration, Time};
+
+/// One scheduled fault action, carried inside [`crate::event::Event::Fault`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// Take a link down. Both directions fail together (as a cut fiber
+    /// does); frames in flight or transmitted while down are lost.
+    LinkDown {
+        /// The failing link.
+        link: LinkId,
+    },
+    /// Bring a link back up. PFC pause state on both endpoints is cleared
+    /// (a link reset expires outstanding pause, exactly like hardware).
+    LinkUp {
+        /// The recovering link.
+        link: LinkId,
+    },
+    /// Set a link's per-frame corruption probability. Corrupted frames
+    /// fail CRC at the receiver and are dropped — *even on lossless
+    /// classes*, which is precisely why RoCE needs go-back-N at all.
+    SetBitError {
+        /// The degraded link.
+        link: LinkId,
+        /// Probability that any single frame is corrupted (0 heals).
+        drop_prob: f64,
+    },
+    /// One tick of a malfunctioning-NIC pause storm: the host emits a PFC
+    /// PAUSE for `class` on its access link, then the tick reschedules
+    /// itself every `refresh` until `until`. With a refresh shorter than
+    /// the victim switch can drain, the uplink port is paused continuously
+    /// — the §6 pause-storm failure mode.
+    PauseStormTick {
+        /// The malfunctioning host.
+        host: NodeId,
+        /// The priority class being paused.
+        class: u8,
+        /// Storm end time (no tick fires after this).
+        until: Time,
+        /// Gap between successive PAUSE frames.
+        refresh: Duration,
+    },
+    /// Disable ECN marking at one switch (misconfiguration: the switch
+    /// falls back to pure PFC and congestion spreading resumes).
+    EcnOff {
+        /// The misconfigured switch.
+        switch: NodeId,
+    },
+}
+
+/// A declarative, reproducible fault plan: `(time, action)` pairs built
+/// with a fluent API and installed via
+/// [`crate::network::Network::install_faults`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    actions: Vec<(Time, FaultAction)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// The scheduled `(time, action)` pairs, in insertion order.
+    pub fn actions(&self) -> &[(Time, FaultAction)] {
+        &self.actions
+    }
+
+    /// True when no fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Fails `link` at `at`.
+    pub fn link_down(mut self, at: Time, link: LinkId) -> FaultPlan {
+        self.actions.push((at, FaultAction::LinkDown { link }));
+        self
+    }
+
+    /// Restores `link` at `at`.
+    pub fn link_up(mut self, at: Time, link: LinkId) -> FaultPlan {
+        self.actions.push((at, FaultAction::LinkUp { link }));
+        self
+    }
+
+    /// Flaps `link` `count` times: down at `first_down + k·period`, back
+    /// up `down_for` later, for `k = 0..count`.
+    pub fn link_flap(
+        mut self,
+        link: LinkId,
+        first_down: Time,
+        down_for: Duration,
+        period: Duration,
+        count: u32,
+    ) -> FaultPlan {
+        debug_assert!(
+            down_for < period,
+            "flap must come back up within its period"
+        );
+        for k in 0..count as u64 {
+            let down = first_down + period.saturating_mul(k);
+            self.actions.push((down, FaultAction::LinkDown { link }));
+            self.actions
+                .push((down + down_for, FaultAction::LinkUp { link }));
+        }
+        self
+    }
+
+    /// Sets `link`'s per-frame corruption probability to `drop_prob` at
+    /// `at` (use 0.0 to heal).
+    pub fn bit_error(mut self, at: Time, link: LinkId, drop_prob: f64) -> FaultPlan {
+        self.actions
+            .push((at, FaultAction::SetBitError { link, drop_prob }));
+        self
+    }
+
+    /// `host` emits continuous PFC PAUSE for `class` on its access link
+    /// from `from` until `until`, one frame every `refresh`.
+    pub fn pause_storm(
+        mut self,
+        host: NodeId,
+        class: u8,
+        from: Time,
+        until: Time,
+        refresh: Duration,
+    ) -> FaultPlan {
+        debug_assert!(refresh > Duration::ZERO, "storm refresh must be positive");
+        self.actions.push((
+            from,
+            FaultAction::PauseStormTick {
+                host,
+                class,
+                until,
+                refresh,
+            },
+        ));
+        self
+    }
+
+    /// Disables ECN marking at `switch` at `at`.
+    pub fn ecn_off(mut self, at: Time, switch: NodeId) -> FaultPlan {
+        self.actions.push((at, FaultAction::EcnOff { switch }));
+        self
+    }
+}
+
+/// How the fault layer reacts to fault-driven topology changes.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Recompute ECMP routes over the live links on every link state
+    /// change (BGP-style failover). With this off, switches keep hashing
+    /// flows onto dead next-hops — the pre-reconvergence black hole.
+    pub failover: bool,
+    /// Seed of the dedicated bit-error RNG stream. Kept separate from the
+    /// simulator seed so installing a fault plan never shifts the RED
+    /// marking draws of the fault-free portion of a run.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            failover: true,
+            seed: 0xFA17,
+        }
+    }
+}
+
+/// Counters kept by the fault layer (always cheap to read; all zero when
+/// no fault plan is installed).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultStats {
+    /// Frames lost because their link was down at delivery time.
+    pub link_drops: u64,
+    /// Frames lost to injected bit errors (CRC failure at the receiver).
+    pub crc_drops: u64,
+    /// Link up/down transitions executed.
+    pub transitions: u64,
+    /// Route recomputations performed (failover).
+    pub reroutes: u64,
+    /// PAUSE frames injected by pause storms.
+    pub storm_pauses: u64,
+}
+
+/// Per-link fault state.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkState {
+    /// Is the link carrying frames?
+    pub up: bool,
+    /// Per-frame corruption probability (0 = healthy).
+    pub drop_prob: f64,
+}
+
+impl Default for LinkState {
+    fn default() -> LinkState {
+        LinkState {
+            up: true,
+            drop_prob: 0.0,
+        }
+    }
+}
+
+/// What happened to a frame crossing a (possibly faulty) link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFate {
+    /// Delivered intact.
+    Deliver,
+    /// Lost: the link is down.
+    DownDrop,
+    /// Lost: corrupted in flight, dropped on CRC failure.
+    CrcDrop,
+}
+
+/// The network's fault state: link health, the bit-error RNG stream and
+/// the fault counters. Inert (one `active` branch on the delivery path)
+/// until a fault plan is installed or a link is forced down.
+#[derive(Debug)]
+pub struct FaultEngine {
+    /// Reaction knobs (failover on/off, RNG seed).
+    pub config: FaultConfig,
+    /// Fault counters.
+    pub stats: FaultStats,
+    /// Per-link health, indexed by `LinkId.0`.
+    pub links: Vec<LinkState>,
+    /// Hot-path guard: when false, the delivery path skips the fault
+    /// layer entirely and a run is byte-identical to pre-fault builds.
+    pub active: bool,
+    rng: SplitMix64,
+}
+
+impl FaultEngine {
+    /// An inactive engine covering `num_links` healthy links.
+    pub fn inactive(num_links: usize) -> FaultEngine {
+        FaultEngine {
+            config: FaultConfig::default(),
+            stats: FaultStats::default(),
+            links: vec![LinkState::default(); num_links],
+            active: false,
+            rng: SplitMix64::new(FaultConfig::default().seed),
+        }
+    }
+
+    /// Activates the engine with `config` (re-seeds the bit-error stream).
+    pub fn activate(&mut self, config: FaultConfig) {
+        self.config = config;
+        self.rng = SplitMix64::new(config.seed);
+        self.active = true;
+    }
+
+    /// Is `link` up?
+    pub fn link_up(&self, link: LinkId) -> bool {
+        self.links[link.0].up
+    }
+
+    /// Decides the fate of one frame crossing `link`, updating counters.
+    /// Bit errors hit every frame kind alike — data, ACKs, even PFC
+    /// frames (a corrupted RESUME is one of the stuck-queue stories the
+    /// watchdog exists for).
+    pub fn wire_fate(&mut self, link: LinkId) -> WireFate {
+        let st = self.links[link.0];
+        if !st.up {
+            self.stats.link_drops += 1;
+            return WireFate::DownDrop;
+        }
+        if st.drop_prob > 0.0 && self.rng.chance(st.drop_prob) {
+            self.stats.crc_drops += 1;
+            return WireFate::CrcDrop;
+        }
+        WireFate::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flap_expands_to_paired_transitions() {
+        let plan = FaultPlan::new().link_flap(
+            LinkId(3),
+            Time::from_millis(5),
+            Duration::from_millis(1),
+            Duration::from_millis(4),
+            2,
+        );
+        let a = plan.actions();
+        assert_eq!(a.len(), 4);
+        assert_eq!(
+            a[0],
+            (
+                Time::from_millis(5),
+                FaultAction::LinkDown { link: LinkId(3) }
+            )
+        );
+        assert_eq!(
+            a[1],
+            (
+                Time::from_millis(6),
+                FaultAction::LinkUp { link: LinkId(3) }
+            )
+        );
+        assert_eq!(
+            a[2],
+            (
+                Time::from_millis(9),
+                FaultAction::LinkDown { link: LinkId(3) }
+            )
+        );
+        assert_eq!(
+            a[3],
+            (
+                Time::from_millis(10),
+                FaultAction::LinkUp { link: LinkId(3) }
+            )
+        );
+    }
+
+    #[test]
+    fn builder_accumulates_in_order() {
+        let plan = FaultPlan::new()
+            .link_down(Time::from_millis(1), LinkId(0))
+            .bit_error(Time::from_millis(2), LinkId(1), 1e-3)
+            .pause_storm(
+                NodeId(7),
+                3,
+                Time::from_millis(3),
+                Time::from_millis(4),
+                Duration::from_micros(10),
+            )
+            .ecn_off(Time::from_millis(5), NodeId(2))
+            .link_up(Time::from_millis(6), LinkId(0));
+        assert_eq!(plan.actions().len(), 5);
+        assert!(!plan.is_empty());
+        assert!(matches!(
+            plan.actions()[2].1,
+            FaultAction::PauseStormTick {
+                host: NodeId(7),
+                class: 3,
+                ..
+            }
+        ));
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn wire_fate_on_healthy_link_always_delivers() {
+        let mut eng = FaultEngine::inactive(2);
+        for _ in 0..100 {
+            assert_eq!(eng.wire_fate(LinkId(0)), WireFate::Deliver);
+        }
+        assert_eq!(eng.stats.link_drops + eng.stats.crc_drops, 0);
+    }
+
+    #[test]
+    fn wire_fate_on_down_link_drops_everything() {
+        let mut eng = FaultEngine::inactive(2);
+        eng.links[1].up = false;
+        for _ in 0..10 {
+            assert_eq!(eng.wire_fate(LinkId(1)), WireFate::DownDrop);
+        }
+        assert_eq!(eng.stats.link_drops, 10);
+        assert!(eng.link_up(LinkId(0)) && !eng.link_up(LinkId(1)));
+    }
+
+    #[test]
+    fn bit_errors_drop_roughly_at_rate_and_deterministically() {
+        let mut a = FaultEngine::inactive(1);
+        a.activate(FaultConfig {
+            failover: true,
+            seed: 99,
+        });
+        a.links[0].drop_prob = 0.05;
+        let fates_a: Vec<WireFate> = (0..10_000).map(|_| a.wire_fate(LinkId(0))).collect();
+        let drops = a.stats.crc_drops;
+        let rate = drops as f64 / 10_000.0;
+        assert!((rate - 0.05).abs() < 0.01, "crc rate {rate}");
+
+        let mut b = FaultEngine::inactive(1);
+        b.activate(FaultConfig {
+            failover: true,
+            seed: 99,
+        });
+        b.links[0].drop_prob = 0.05;
+        let fates_b: Vec<WireFate> = (0..10_000).map(|_| b.wire_fate(LinkId(0))).collect();
+        assert_eq!(fates_a, fates_b, "same seed, same corruption pattern");
+    }
+}

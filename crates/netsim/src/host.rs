@@ -31,6 +31,11 @@ pub struct HostConfig {
     /// (InfiniBand transport retry count; RoCE flows that exhaust it are
     /// "simply unable to recover" — §6.2).
     pub max_retries: u32,
+    /// Cap on the exponential RTO backoff multiplier: the k-th consecutive
+    /// timeout of a stalled flow waits `rto · min(2^(k−1), cap)` before
+    /// retrying again, so a black-holed flow stops hammering the fabric
+    /// with go-back-N bursts. 1 disables backoff.
+    pub rto_backoff_cap: u32,
     /// NP CNP pacing interval (`N` in the paper, 50 µs); `None` disables
     /// CNP generation entirely (e.g. DCTCP hosts).
     pub cnp_interval: Option<Duration>,
@@ -58,6 +63,7 @@ impl Default for HostConfig {
             ack_every: 4,
             rto: Duration::from_millis(16),
             max_retries: 7,
+            rto_backoff_cap: 8,
             cnp_interval: Some(Duration::from_micros(50)),
             nack_min_interval: Duration::from_micros(100),
             nack_enabled: true,
@@ -281,7 +287,7 @@ impl Host {
     pub fn receive(&mut self, ctx: &mut Ctx, pkt: Packet) {
         match pkt.kind {
             PacketKind::Pfc { class, pause } => {
-                let released = self.port.apply_pfc(class, pause);
+                let released = self.port.apply_pfc(class, pause, ctx.queue.now());
                 if released {
                     self.try_send(ctx);
                 }
@@ -566,7 +572,12 @@ impl Host {
                         kind: TraceKind::Timeout,
                         detail: f.una_psn,
                     });
-                    let deadline = now + self.config.rto;
+                    // Exponential backoff: the k-th consecutive timeout
+                    // waits min(2^(k−1), cap) × rto. ACK progress resets
+                    // the count (receive_ack), returning to the base RTO.
+                    let shift = (f.consecutive_timeouts - 1).min(31);
+                    let factor = (1u64 << shift).min(u64::from(self.config.rto_backoff_cap.max(1)));
+                    let deadline = now + self.config.rto.saturating_mul(factor);
                     f.rto_deadline = deadline;
                     ctx.queue.schedule(
                         deadline,
@@ -931,6 +942,7 @@ mod tests {
         assert_eq!(c.mtu_payload, 1436);
         assert!(c.nack_enabled);
         assert_eq!(c.max_retries, 7);
+        assert_eq!(c.rto_backoff_cap, 8);
         assert!(c.rto > Duration::from_millis(1));
     }
 

@@ -49,6 +49,7 @@ pub mod buffer;
 pub mod cc;
 pub mod ecn;
 pub mod event;
+pub mod faults;
 pub mod host;
 pub mod network;
 pub mod packet;
@@ -66,11 +67,12 @@ pub mod prelude {
     pub use crate::buffer::{BufferConfig, PfcThreshold};
     pub use crate::cc::{CcActions, CongestionControl, NoCc};
     pub use crate::ecn::RedConfig;
-    pub use crate::event::{NodeId, PortId};
+    pub use crate::event::{LinkId, NodeId, PortId};
+    pub use crate::faults::{FaultConfig, FaultPlan};
     pub use crate::host::HostConfig;
     pub use crate::network::{Network, NetworkBuilder};
     pub use crate::packet::{FlowId, CONTROL_PRIORITY, DATA_PRIORITY, HEADER_BYTES};
     pub use crate::stats::{median, percentile, FlowStats, SamplerConfig};
-    pub use crate::switch::SwitchConfig;
+    pub use crate::switch::{PfcWatchdogConfig, SwitchConfig};
     pub use crate::units::{bytes, Bandwidth, Duration, Time};
 }

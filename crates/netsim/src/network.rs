@@ -3,15 +3,17 @@
 
 use crate::audit::Auditor;
 use crate::cc::CongestionControl;
+use crate::ecn::RedConfig;
 use crate::event::{Event, EventQueue, LinkId, NodeId, PortId, TimerKind};
+use crate::faults::{FaultAction, FaultConfig, FaultEngine, FaultPlan, FaultStats, WireFate};
 use crate::host::{Host, HostConfig};
-use crate::packet::{FlowId, Priority};
+use crate::packet::{FlowId, Packet, Priority};
 use crate::port::Attachment;
 use crate::rng::SplitMix64;
-use crate::routing::{compute_routes, Edge};
+use crate::routing::{compute_routes_masked, Edge};
 use crate::stats::{FlowStats, SampledSeries, SamplerConfig, SwitchStats};
 use crate::switch::{Switch, SwitchConfig};
-use crate::trace::Tracer;
+use crate::trace::{TraceEvent, TraceKind, Tracer};
 use crate::units::{Bandwidth, Duration, Time};
 use std::collections::HashMap;
 
@@ -88,9 +90,17 @@ impl NetworkBuilder {
         NodeId(self.nodes.len() - 1)
     }
 
-    /// Connects two nodes with a full-duplex link.
-    pub fn connect(&mut self, a: NodeId, b: NodeId, bandwidth: Bandwidth, delay: Duration) {
+    /// Connects two nodes with a full-duplex link and returns its id (for
+    /// fault injection; links are numbered in declaration order).
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        bandwidth: Bandwidth,
+        delay: Duration,
+    ) -> LinkId {
         self.links.push((a, b, bandwidth, delay));
+        LinkId(self.links.len() - 1)
     }
 
     /// Materializes the network: allocates ports, attaches links, computes
@@ -162,7 +172,7 @@ impl NetworkBuilder {
             .filter(|(_, n)| matches!(n, Node::Host(_)))
             .map(|(i, _)| NodeId(i))
             .collect();
-        let tables = compute_routes(n, &edges, &dests);
+        let tables = compute_routes_masked(n, &edges, &[], &dests);
         for (i, table) in tables.into_iter().enumerate() {
             if let Node::Switch(s) = &mut nodes[i] {
                 s.routes = table;
@@ -171,6 +181,7 @@ impl NetworkBuilder {
 
         let mut rng = SplitMix64::new(self.seed);
         let ecmp_salt = rng.next_u64();
+        let num_links = edges.len();
         Network {
             nodes,
             ctx: Ctx {
@@ -181,6 +192,9 @@ impl NetworkBuilder {
                 tracer: Tracer::disabled(),
                 audit: Auditor::default(),
             },
+            edges,
+            dests,
+            faults: FaultEngine::inactive(num_links),
             flow_locator: HashMap::new(),
             flow_order: Vec::new(),
             next_flow_id: 0,
@@ -200,6 +214,13 @@ pub struct Network {
     pub ctx: Ctx,
     /// Sampled series (populated when sampling is enabled).
     pub samples: SampledSeries,
+    /// All links, indexed by [`LinkId`] (declaration order).
+    edges: Vec<Edge>,
+    /// Route destinations (every host), kept for failover recomputation.
+    dests: Vec<NodeId>,
+    /// Fault-injection engine. Inactive (one dead branch on the Deliver
+    /// path) unless a fault plan is installed or a link is toggled.
+    faults: FaultEngine,
     flow_locator: HashMap<FlowId, (NodeId, usize)>,
     /// Flow ids in registration order. Ids are handed out sequentially,
     /// so this is always sorted — `take_sample` iterates it instead of
@@ -343,6 +364,139 @@ impl Network {
         self.ctx.queue.schedule(at, Event::Sample);
     }
 
+    /// Installs a fault plan: activates the fault engine (with `config`'s
+    /// failover policy and bit-error seed) and schedules every planned
+    /// action on the event queue. Actions planned in the past fire
+    /// immediately (clamped to now).
+    pub fn install_faults(&mut self, plan: &FaultPlan, config: FaultConfig) {
+        self.faults.activate(config);
+        let now = self.ctx.queue.now();
+        for &(at, action) in plan.actions() {
+            self.ctx
+                .queue
+                .schedule(at.max(now), Event::Fault { action });
+        }
+    }
+
+    /// Fault-engine counters (all zero when no faults were injected).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.stats
+    }
+
+    /// Is `link` currently up? (Always true before any fault injection.)
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.faults.link_up(link)
+    }
+
+    /// The link connecting `a` and `b` directly (either order), if any.
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        self.edges
+            .iter()
+            .position(|&(x, _, y, _)| (x == a && y == b) || (x == b && y == a))
+            .map(LinkId)
+    }
+
+    /// Administratively sets one link up or down, immediately.
+    ///
+    /// A transition (either direction) fails both directions at once and
+    /// resets PFC state on both endpoints — a repaired link comes back
+    /// with a clean slate, and a dead one cannot leave its neighbor
+    /// stuck honoring a PAUSE whose RESUME will never arrive. With
+    /// failover enabled (the default) routes are recomputed over the
+    /// surviving topology. Packets already in flight on the link when it
+    /// dies are lost (counted as fault drops).
+    pub fn set_link_state(&mut self, link: LinkId, up: bool) {
+        if self.faults.links[link.0].up == up {
+            return;
+        }
+        self.faults.active = true;
+        self.faults.links[link.0].up = up;
+        self.faults.stats.transitions += 1;
+        let (a, pa, b, pb) = self.edges[link.0];
+        self.reset_pfc_at(a, pa);
+        self.reset_pfc_at(b, pb);
+        self.ctx.tracer.record(TraceEvent {
+            at: self.ctx.queue.now(),
+            node: a,
+            flow: FlowId(u64::MAX),
+            kind: if up {
+                TraceKind::LinkUp
+            } else {
+                TraceKind::LinkDown
+            },
+            detail: link.0 as u64,
+        });
+        if self.faults.config.failover {
+            self.recompute_routes();
+        }
+    }
+
+    /// Recomputes every switch's routing table over the currently-up
+    /// links (route failover / restoration).
+    pub fn recompute_routes(&mut self) {
+        let down: Vec<bool> = self.faults.links.iter().map(|l| !l.up).collect();
+        let tables = compute_routes_masked(self.nodes.len(), &self.edges, &down, &self.dests);
+        for (i, table) in tables.into_iter().enumerate() {
+            if let Node::Switch(s) = &mut self.nodes[i] {
+                s.routes = table;
+            }
+        }
+        self.faults.stats.reroutes += 1;
+    }
+
+    /// Clears all PFC state on one endpoint of a transitioning link and
+    /// kicks its transmitter (it may have been pause-blocked).
+    fn reset_pfc_at(&mut self, node: NodeId, port: PortId) {
+        let Network { nodes, ctx, .. } = self;
+        ctx.audit.on_pfc_reset(node, port.0);
+        match &mut nodes[node.0] {
+            Node::Switch(s) => s.reset_link_pfc(ctx, port),
+            Node::Host(h) => {
+                h.port.reset_pfc();
+                h.try_send(ctx);
+            }
+        }
+    }
+
+    fn apply_fault(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::LinkDown { link } => self.set_link_state(link, false),
+            FaultAction::LinkUp { link } => self.set_link_state(link, true),
+            FaultAction::SetBitError { link, drop_prob } => {
+                self.faults.active = true;
+                self.faults.links[link.0].drop_prob = drop_prob;
+            }
+            FaultAction::EcnOff { switch } => {
+                // The §5 misconfiguration case: marking silently stops.
+                self.switch_mut(switch).config.red = RedConfig::disabled();
+            }
+            FaultAction::PauseStormTick {
+                host,
+                class,
+                until,
+                refresh,
+            } => {
+                let now = self.ctx.queue.now();
+                let Network {
+                    nodes, ctx, faults, ..
+                } = self;
+                if let Node::Host(h) = &mut nodes[host.0] {
+                    if let Some(att) = h.port.attach {
+                        h.port
+                            .pfc_queue
+                            .push_back(Packet::pfc(host, att.peer, class, true));
+                        faults.stats.storm_pauses += 1;
+                        h.try_send(ctx);
+                    }
+                }
+                let next = now + refresh;
+                if refresh > Duration::ZERO && next <= until {
+                    self.ctx.queue.schedule(next, Event::Fault { action });
+                }
+            }
+        }
+    }
+
     /// Schedules a one-shot mutation of the network at time `at`.
     pub fn schedule_hook(&mut self, at: Time, hook: Hook) {
         let id = self.hooks.len();
@@ -398,7 +552,33 @@ impl Network {
     fn dispatch(&mut self, event: Event) {
         match event {
             Event::Deliver { node, port, pkt } => {
-                let Network { nodes, ctx, .. } = self;
+                let Network {
+                    nodes, ctx, faults, ..
+                } = self;
+                // One dead branch when no faults are injected: with the
+                // engine inactive this path is byte-identical to a
+                // fault-free build.
+                if faults.active {
+                    let att = match &nodes[node.0] {
+                        Node::Switch(s) => s.ports[port.0].attach,
+                        Node::Host(h) => h.port.attach,
+                    };
+                    if let Some(att) = att {
+                        let fate = faults.wire_fate(att.link);
+                        if fate != WireFate::Deliver {
+                            ctx.audit
+                                .on_fault_drop(node, pkt.priority as usize, ctx.queue.now());
+                            ctx.tracer.record(TraceEvent {
+                                at: ctx.queue.now(),
+                                node,
+                                flow: pkt.flow,
+                                kind: TraceKind::FaultDropped,
+                                detail: (fate == WireFate::CrcDrop) as u64,
+                            });
+                            return;
+                        }
+                    }
+                }
                 match &mut nodes[node.0] {
                     Node::Switch(s) => s.receive(ctx, port, pkt),
                     Node::Host(h) => h.receive(ctx, pkt),
@@ -428,6 +608,20 @@ impl Network {
             Event::Hook { id } => {
                 if let Some(mut hook) = self.hooks[id].take() {
                     hook(self);
+                }
+            }
+            Event::Fault { action } => self.apply_fault(action),
+            Event::Watchdog {
+                node,
+                port,
+                class,
+                restore,
+            } => {
+                let Network { nodes, ctx, .. } = self;
+                match &mut nodes[node.0] {
+                    Node::Switch(s) => s.watchdog(ctx, port, class, restore),
+                    // Hosts have no watchdog; a stray event is a no-op.
+                    Node::Host(_) => {}
                 }
             }
         }

@@ -4,7 +4,7 @@
 use crate::event::{LinkId, NodeId, PortId};
 use crate::packet::{Packet, NUM_PRIORITIES};
 use crate::units::checked::{checked_accum, checked_drain};
-use crate::units::{Bandwidth, Duration};
+use crate::units::{Bandwidth, Duration, Time};
 use std::collections::VecDeque;
 
 /// Where a port is plugged in: the link and the far end.
@@ -69,6 +69,15 @@ pub struct Port {
     /// Classes for which *we* have paused the upstream neighbor (this port
     /// viewed as ingress). Used for RESUME hysteresis.
     pub tx_pause_sent: [bool; NUM_PRIORITIES],
+    /// When each class's current rx pause began (`Time::NEVER` when not
+    /// paused). Feeds the PFC storm watchdog.
+    pub rx_paused_since: [Time; NUM_PRIORITIES],
+    /// Classes whose incoming PAUSE is currently being *ignored* because
+    /// the storm watchdog tripped (restored after its recovery interval).
+    pub pfc_ignore: [bool; NUM_PRIORITIES],
+    /// Classes with a live watchdog check chain (one chain per class, the
+    /// soft-deadline pattern used by host timers).
+    pub wd_armed: [bool; NUM_PRIORITIES],
     /// The packet currently being serialized.
     pub current: Option<Queued>,
 }
@@ -90,6 +99,9 @@ impl Port {
             queued_bytes: [0; NUM_PRIORITIES],
             rx_paused: [false; NUM_PRIORITIES],
             tx_pause_sent: [false; NUM_PRIORITIES],
+            rx_paused_since: [Time::NEVER; NUM_PRIORITIES],
+            pfc_ignore: [false; NUM_PRIORITIES],
+            wd_armed: [false; NUM_PRIORITIES],
             current: None,
         }
     }
@@ -150,11 +162,38 @@ impl Port {
 
     /// Applies a received PFC frame to this port's transmit state.
     /// Returns true if a paused class was released (caller should retry
-    /// transmission).
-    pub fn apply_pfc(&mut self, class: u8, pause: bool) -> bool {
-        let was = self.rx_paused[class as usize];
-        self.rx_paused[class as usize] = pause;
+    /// transmission). PAUSE is discarded while the storm watchdog has the
+    /// class in its ignore window; RESUME is always honored.
+    pub fn apply_pfc(&mut self, class: u8, pause: bool, now: Time) -> bool {
+        let c = class as usize;
+        if pause && self.pfc_ignore[c] {
+            return false;
+        }
+        let was = self.rx_paused[c];
+        self.rx_paused[c] = pause;
+        if pause {
+            if !was {
+                self.rx_paused_since[c] = now;
+            }
+        } else {
+            self.rx_paused_since[c] = Time::NEVER;
+        }
         was && !pause
+    }
+
+    /// Clears all PFC state, as a physical link reset does: outstanding
+    /// rx pauses expire, our own PAUSE bookkeeping is forgotten (the far
+    /// end lost its state too), and any watchdog ignore window ends.
+    /// Called by the fault layer on link down *and* up transitions.
+    pub fn reset_pfc(&mut self) {
+        self.rx_paused = [false; NUM_PRIORITIES];
+        self.rx_paused_since = [Time::NEVER; NUM_PRIORITIES];
+        self.tx_pause_sent = [false; NUM_PRIORITIES];
+        self.pfc_ignore = [false; NUM_PRIORITIES];
+        // Undelivered PFC frames die with the link. A stale PAUSE sent
+        // after the reset would pause a peer whose RESUME bookkeeping was
+        // just forgotten — a permanent freeze.
+        self.pfc_queue.clear();
     }
 }
 
@@ -208,11 +247,11 @@ mod tests {
         let mut port = Port::new();
         port.enqueue(data(3, 1500));
         port.enqueue(data(5, 1500));
-        port.apply_pfc(3, true);
+        port.apply_pfc(3, true, Time::ZERO);
         assert_eq!(port.dequeue_next().unwrap().pkt.priority, 5);
         assert!(port.dequeue_next().is_none());
         assert!(!port.has_eligible());
-        let released = port.apply_pfc(3, false);
+        let released = port.apply_pfc(3, false, Time::ZERO);
         assert!(released);
         assert!(port.has_eligible());
         assert_eq!(port.dequeue_next().unwrap().pkt.priority, 3);
@@ -236,9 +275,57 @@ mod tests {
     #[test]
     fn apply_pfc_reports_release_only_on_transition() {
         let mut port = Port::new();
-        assert!(!port.apply_pfc(3, true));
-        assert!(!port.apply_pfc(3, true));
-        assert!(port.apply_pfc(3, false));
-        assert!(!port.apply_pfc(3, false));
+        assert!(!port.apply_pfc(3, true, Time::ZERO));
+        assert!(!port.apply_pfc(3, true, Time::ZERO));
+        assert!(port.apply_pfc(3, false, Time::ZERO));
+        assert!(!port.apply_pfc(3, false, Time::ZERO));
+    }
+
+    #[test]
+    fn apply_pfc_tracks_pause_onset_for_the_watchdog() {
+        let mut port = Port::new();
+        assert_eq!(port.rx_paused_since[3], Time::NEVER);
+        port.apply_pfc(3, true, Time::from_micros(10));
+        assert_eq!(port.rx_paused_since[3], Time::from_micros(10));
+        // A refresh PAUSE does not restart the clock.
+        port.apply_pfc(3, true, Time::from_micros(20));
+        assert_eq!(port.rx_paused_since[3], Time::from_micros(10));
+        port.apply_pfc(3, false, Time::from_micros(30));
+        assert_eq!(port.rx_paused_since[3], Time::NEVER);
+    }
+
+    #[test]
+    fn ignore_window_discards_pause_but_honors_resume() {
+        let mut port = Port::new();
+        port.pfc_ignore[3] = true;
+        port.apply_pfc(3, true, Time::ZERO);
+        assert!(!port.rx_paused[3], "PAUSE ignored while watchdog tripped");
+        port.pfc_ignore[3] = false;
+        port.apply_pfc(3, true, Time::ZERO);
+        assert!(port.rx_paused[3]);
+        port.pfc_ignore[3] = true;
+        assert!(
+            port.apply_pfc(3, false, Time::ZERO),
+            "RESUME always honored"
+        );
+    }
+
+    #[test]
+    fn reset_pfc_clears_all_pause_state() {
+        let mut port = Port::new();
+        port.apply_pfc(3, true, Time::from_micros(5));
+        port.tx_pause_sent[4] = true;
+        port.pfc_ignore[5] = true;
+        port.pfc_queue
+            .push_back(Packet::pfc(NodeId(0), NodeId(1), 3, true));
+        port.reset_pfc();
+        assert!(!port.rx_paused[3]);
+        assert_eq!(port.rx_paused_since[3], Time::NEVER);
+        assert!(!port.tx_pause_sent[4]);
+        assert!(!port.pfc_ignore[5]);
+        assert!(
+            port.pfc_queue.is_empty(),
+            "stale PFC frames die with the link"
+        );
     }
 }

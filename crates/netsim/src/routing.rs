@@ -22,9 +22,25 @@ pub type RouteTable = HashMap<NodeId, Vec<PortId>>;
 /// Port lists are sorted for determinism. Unreachable destinations simply
 /// have no entry.
 pub fn compute_routes(num_nodes: usize, edges: &[Edge], dests: &[NodeId]) -> Vec<RouteTable> {
+    compute_routes_masked(num_nodes, edges, &[], dests)
+}
+
+/// [`compute_routes`] over the surviving topology: edge `i` is skipped when
+/// `down[i]` is true (indices past `down.len()` are treated as up). This is
+/// route failover — after a link failure the network recomputes with the
+/// dead link masked, and surviving ECMP members absorb its flows.
+pub fn compute_routes_masked(
+    num_nodes: usize,
+    edges: &[Edge],
+    down: &[bool],
+    dests: &[NodeId],
+) -> Vec<RouteTable> {
     // adjacency[u] = (neighbor, egress port on u)
     let mut adjacency: Vec<Vec<(NodeId, PortId)>> = vec![Vec::new(); num_nodes];
-    for &(a, pa, b, pb) in edges {
+    for (i, &(a, pa, b, pb)) in edges.iter().enumerate() {
+        if down.get(i).copied().unwrap_or(false) {
+            continue;
+        }
         adjacency[a.0].push((b, pa));
         adjacency[b.0].push((a, pb));
     }
@@ -125,6 +141,37 @@ mod tests {
         let t = compute_routes(2, &edges, &[n(1)]);
         assert!(t[0].contains_key(&n(1)));
         assert!(!t[1].contains_key(&n(0)));
+    }
+
+    #[test]
+    fn masking_an_edge_shrinks_the_ecmp_set() {
+        // H0 - A - {M1, M2} - B - H1, then kill the A–M1 link (edge 2).
+        let edges = vec![
+            (n(0), p(0), n(2), p(0)),
+            (n(1), p(0), n(3), p(0)),
+            (n(2), p(1), n(4), p(0)),
+            (n(2), p(2), n(5), p(0)),
+            (n(3), p(1), n(4), p(1)),
+            (n(3), p(2), n(5), p(1)),
+        ];
+        let mut down = vec![false; edges.len()];
+        down[2] = true;
+        let t = compute_routes_masked(6, &edges, &down, &[n(0), n(1)]);
+        // The only surviving path in either direction goes via M2: M1 can
+        // no longer reach A at all, so B's ECMP set shrinks too.
+        assert_eq!(t[2][&n(1)], vec![p(2)]);
+        assert_eq!(t[3][&n(0)], vec![p(2)]);
+        // All-up mask reproduces compute_routes exactly.
+        let all_up = compute_routes_masked(6, &edges, &[false; 6], &[n(0), n(1)]);
+        let plain = compute_routes(6, &edges, &[n(0), n(1)]);
+        assert_eq!(all_up[2][&n(1)], plain[2][&n(1)]);
+    }
+
+    #[test]
+    fn masking_the_only_path_removes_the_route() {
+        let edges = vec![(n(0), p(0), n(1), p(0))];
+        let t = compute_routes_masked(2, &edges, &[true], &[n(1)]);
+        assert!(!t[0].contains_key(&n(1)), "no route over a dead link");
     }
 
     #[test]

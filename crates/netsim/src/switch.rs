@@ -26,6 +26,7 @@ use crate::routing::RouteTable;
 use crate::stats::SwitchStats;
 use crate::trace::{TraceEvent, TraceKind};
 use crate::units::checked::{bytes_to_f64, checked_accum};
+use crate::units::{Duration, Time};
 
 /// QCN congestion-point configuration (used only by the QCN baseline).
 #[derive(Debug, Clone, Copy)]
@@ -48,6 +49,34 @@ impl Default for QcnCpConfig {
     }
 }
 
+/// PFC storm watchdog parameters: a port class paused *continuously* for
+/// `threshold` trips the watchdog — the switch stops honoring PAUSE for
+/// that (port, class) and keeps transmitting, then honors it again
+/// `recovery` after the trip. This is the deployed mitigation for the §6
+/// malfunctioning-NIC pause storm: without it one stuck receiver freezes
+/// every queue upstream of it, forever.
+///
+/// Real switch watchdogs poll on 100–200 ms granularity; the defaults
+/// here are scaled to this simulator's tens-of-milliseconds experiment
+/// horizons. The 1:4 threshold:recovery ratio means a persistent storm
+/// leaves the victim port transmitting ~80% of the time.
+#[derive(Debug, Clone, Copy)]
+pub struct PfcWatchdogConfig {
+    /// Continuous pause time that trips the watchdog.
+    pub threshold: Duration,
+    /// How long PAUSE is ignored after a trip.
+    pub recovery: Duration,
+}
+
+impl Default for PfcWatchdogConfig {
+    fn default() -> PfcWatchdogConfig {
+        PfcWatchdogConfig {
+            threshold: Duration::from_millis(1),
+            recovery: Duration::from_millis(4),
+        }
+    }
+}
+
 /// Static configuration of a switch.
 #[derive(Debug, Clone)]
 pub struct SwitchConfig {
@@ -62,6 +91,8 @@ pub struct SwitchConfig {
     pub lossless: [bool; NUM_PRIORITIES],
     /// QCN congestion point (baseline only).
     pub qcn: Option<QcnCpConfig>,
+    /// PFC storm watchdog (`None` = no watchdog, the paper-era default).
+    pub watchdog: Option<PfcWatchdogConfig>,
 }
 
 impl SwitchConfig {
@@ -80,6 +111,7 @@ impl SwitchConfig {
             pfc_enabled: true,
             lossless,
             qcn: None,
+            watchdog: None,
         }
     }
 
@@ -92,6 +124,12 @@ impl SwitchConfig {
     /// Disables PFC (the paper's "DCQCN without PFC" configuration).
     pub fn without_pfc(mut self) -> SwitchConfig {
         self.pfc_enabled = false;
+        self
+    }
+
+    /// Enables the PFC storm watchdog.
+    pub fn with_watchdog(mut self, wd: PfcWatchdogConfig) -> SwitchConfig {
+        self.watchdog = Some(wd);
         self
     }
 }
@@ -168,7 +206,28 @@ impl Switch {
         // Link-local PFC frames control our transmitter on that port.
         if let PacketKind::Pfc { class, pause } = pkt.kind {
             self.stats.pause_rx += pause as u64;
-            let released = self.ports[in_port.0].apply_pfc(class, pause);
+            let wd = self.config.watchdog;
+            let port = &mut self.ports[in_port.0];
+            let newly_paused = pause && !port.rx_paused[class as usize];
+            let released = port.apply_pfc(class, pause, now);
+            // Arm one watchdog check chain per (port, class) on the
+            // false→true pause transition; the chain re-checks the soft
+            // `rx_paused_since` deadline when it fires.
+            if let Some(wd) = wd {
+                let c = class as usize;
+                if newly_paused && port.rx_paused[c] && !port.wd_armed[c] {
+                    port.wd_armed[c] = true;
+                    ctx.queue.schedule(
+                        now + wd.threshold,
+                        Event::Watchdog {
+                            node: self.id,
+                            port: in_port,
+                            class: c,
+                            restore: false,
+                        },
+                    );
+                }
+            }
             if released {
                 self.try_transmit(ctx, in_port);
             }
@@ -300,6 +359,72 @@ impl Switch {
         self.try_transmit(ctx, out);
     }
 
+    /// Handles a fired PFC storm watchdog event for `(pid, class)`.
+    ///
+    /// The check chain uses the same soft-deadline pattern as host RTO
+    /// timers: the event re-reads `rx_paused_since` when it fires, so a
+    /// pause that was released and re-applied just reschedules the check
+    /// instead of tripping spuriously. On a genuine trip the class stops
+    /// honoring PAUSE (and resumes transmitting) until the restore event
+    /// fires `recovery` later.
+    pub fn watchdog(&mut self, ctx: &mut Ctx, pid: PortId, class: usize, restore: bool) {
+        let Some(wd) = self.config.watchdog else {
+            return;
+        };
+        let now = ctx.queue.now();
+        let port = &mut self.ports[pid.0];
+        if restore {
+            // Idempotent: a link reset may have cleared the ignore flag
+            // before the restore event arrives.
+            if port.pfc_ignore[class] {
+                port.pfc_ignore[class] = false;
+                self.stats.watchdog_restores += 1;
+            }
+            return;
+        }
+        if !port.rx_paused[class] || port.rx_paused_since[class] == Time::NEVER {
+            port.wd_armed[class] = false;
+            return; // pause released since arming: the chain dies
+        }
+        let trip_at = port.rx_paused_since[class] + wd.threshold;
+        if trip_at > now {
+            // Paused again, but not yet continuously long enough.
+            ctx.queue.schedule(
+                trip_at,
+                Event::Watchdog {
+                    node: self.id,
+                    port: pid,
+                    class,
+                    restore: false,
+                },
+            );
+            return;
+        }
+        // Trip: ignore PAUSE, resume transmitting, schedule recovery.
+        port.wd_armed[class] = false;
+        port.pfc_ignore[class] = true;
+        port.rx_paused[class] = false;
+        port.rx_paused_since[class] = Time::NEVER;
+        self.stats.watchdog_trips += 1;
+        ctx.tracer.record(TraceEvent {
+            at: now,
+            node: self.id,
+            flow: crate::packet::FlowId(u64::MAX),
+            kind: TraceKind::WatchdogTrip,
+            detail: class as u64,
+        });
+        ctx.queue.schedule(
+            now + wd.recovery,
+            Event::Watchdog {
+                node: self.id,
+                port: pid,
+                class,
+                restore: true,
+            },
+        );
+        self.try_transmit(ctx, pid);
+    }
+
     /// Injects a switch-originated control packet (QCN feedback) toward its
     /// destination via normal routing, without shared-buffer accounting.
     fn forward_control(&mut self, ctx: &mut Ctx, fallback_port: PortId, pkt: Packet) {
@@ -367,6 +492,17 @@ impl Switch {
                 self.check_resumes(ctx);
             }
         }
+        self.try_transmit(ctx, pid);
+    }
+
+    /// Clears all PFC state on `pid` after a link transition (down or up):
+    /// forget pauses received on it, forget pauses we sent over it (the
+    /// peer's state is reset in the same transition), and kick the
+    /// transmitter in case it was pause-blocked. Without this a dead
+    /// link's unanswered PAUSE would freeze the port forever.
+    pub fn reset_link_pfc(&mut self, ctx: &mut Ctx, pid: PortId) {
+        self.paused_ingress.retain(|&(p, _)| p != pid.0);
+        self.ports[pid.0].reset_pfc();
         self.try_transmit(ctx, pid);
     }
 

@@ -54,6 +54,15 @@ pub enum TraceKind {
     CnpSent,
     /// A sender's retransmission timeout fired.
     Timeout,
+    /// A link went down (fault injection); detail is the link index.
+    LinkDown,
+    /// A link came back up; detail is the link index.
+    LinkUp,
+    /// A frame was lost to an injected fault (detail 0 = link down,
+    /// 1 = bit-error/CRC).
+    FaultDropped,
+    /// A switch's PFC storm watchdog tripped (detail is the class).
+    WatchdogTrip,
 }
 
 /// One trace record.

@@ -59,11 +59,12 @@ const COUNTER_TOKENS: [&str; 8] = [
 ];
 
 /// Files forming the per-event hot path (hot-unwrap rule).
-const HOT_FILES: [&str; 4] = [
+const HOT_FILES: [&str; 5] = [
     "crates/netsim/src/event.rs",
     "crates/netsim/src/host.rs",
     "crates/netsim/src/switch.rs",
     "crates/netsim/src/port.rs",
+    "crates/netsim/src/faults.rs",
 ];
 
 /// Methods that iterate a map in unspecified order.
