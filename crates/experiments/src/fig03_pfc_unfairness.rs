@@ -4,8 +4,10 @@
 //! uplinks depending on the ECMP draw (the parking-lot problem).
 
 use crate::common::{banner, mmm, CcChoice, RunScale};
+use crate::report;
 use crate::runner::par_runs;
-use crate::scenarios::unfairness_run;
+use crate::scenarios::unfairness_run_full;
+use netsim::telemetry::Json;
 use netsim::units::Duration;
 
 /// Runs the scenario across seeds and prints per-host min/median/max.
@@ -19,13 +21,40 @@ pub fn run_with(cc: CcChoice, scale: RunScale) {
         _ => (Duration::ZERO, Duration::ZERO),
     };
     let runs = par_runs(&seeds, |seed| {
-        unfairness_run(cc, seed, duration + extra_dur, warmup + extra_warm)
+        unfairness_run_full(cc, seed, duration + extra_dur, warmup + extra_warm)
     });
     let mut per_host: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for g in &runs {
+    for (g, _) in &runs {
         for (h, &v) in g.iter().enumerate() {
             per_host[h].push(v);
         }
+    }
+    report::put("scheme", Json::from(cc.label()));
+    report::put(
+        "per_host_goodput_gbps",
+        Json::Arr(
+            per_host
+                .iter()
+                .map(|g| Json::from(g.clone()))
+                .collect::<Vec<_>>(),
+        ),
+    );
+    if report::enabled() {
+        report::put(
+            "runs",
+            Json::Arr(
+                seeds
+                    .iter()
+                    .zip(&runs)
+                    .map(|(&seed, (_, telemetry))| {
+                        Json::obj(vec![
+                            ("seed", Json::from(seed)),
+                            ("telemetry", telemetry.clone()),
+                        ])
+                    })
+                    .collect::<Vec<_>>(),
+            ),
+        );
     }
     println!(
         "per-sender goodput across {} ECMP draws (Gbps):",

@@ -3,8 +3,10 @@
 //! cascade from T4 up through the spines and down to T1's uplinks.
 
 use crate::common::{banner, mmm, CcChoice, RunScale};
+use crate::report;
 use crate::runner::par_map;
 use crate::scenarios::victim_run;
+use netsim::telemetry::Json;
 use netsim::units::Duration;
 
 /// Runs the scenario and prints the victim's median goodput per
@@ -28,10 +30,17 @@ pub fn run_with(cc: CcChoice, scale: RunScale) {
         victim_run(cc, t3, s, duration + extra_dur, warmup + extra_warm)
     });
     println!("victim (VS→VR) goodput vs number of senders under T3 (Gbps):");
+    report::put("scheme", Json::from(cc.label()));
+    let mut rows = Vec::new();
     for (row, t3) in t3_counts.iter().enumerate() {
         let g = &results[row * seeds.len()..(row + 1) * seeds.len()];
         println!("  {t3} senders under T3: {}", mmm(g));
+        rows.push(Json::obj(vec![
+            ("t3_senders", Json::from(*t3)),
+            ("victim_goodput_gbps", Json::from(g.to_vec())),
+        ]));
     }
+    report::put("rows", Json::Arr(rows));
 }
 
 /// Runs the experiment.

@@ -3,9 +3,11 @@
 //! with and without DCQCN.
 
 use crate::common::{banner, CcChoice, RunScale};
+use crate::report;
 use crate::runner::par_map;
 use crate::scenarios::{benchmark_run, BenchmarkConfig};
 use netsim::stats::percentile;
+use netsim::telemetry::Json;
 
 /// Runs the experiment.
 pub fn run(quick: bool) {
@@ -48,15 +50,20 @@ pub fn run(quick: bool) {
             seed,
         })
     });
+    let mut rows = Vec::new();
     for (row, chunk) in runs.chunks(seeds.len()).enumerate() {
         let (deg, cc, _) = grid[row * seeds.len()];
         let mut user = Vec::new();
         let mut incast = Vec::new();
         let mut pauses = 0;
+        let (mut drops, mut retx, mut aborted) = (0, 0, 0);
         for r in chunk {
             user.extend(r.user_goodputs.iter().copied());
             incast.extend(r.incast_goodputs.iter().copied());
             pauses += r.spine_pause_rx;
+            drops += r.drops;
+            retx += r.retx;
+            aborted += r.aborted;
         }
         println!(
             "{:>7} {:>9} | {:>9.2} {:>9.2} | {:>10.2} {:>10.2} | {:>8}",
@@ -68,7 +75,20 @@ pub fn run(quick: bool) {
             percentile(&incast, 10.0),
             pauses
         );
+        rows.push(Json::obj(vec![
+            ("incast_degree", Json::from(deg)),
+            ("scheme", Json::from(cc.label())),
+            ("user_med_gbps", Json::from(percentile(&user, 50.0))),
+            ("user_p10_gbps", Json::from(percentile(&user, 10.0))),
+            ("incast_med_gbps", Json::from(percentile(&incast, 50.0))),
+            ("incast_p10_gbps", Json::from(percentile(&incast, 10.0))),
+            ("spine_pause_rx", Json::from(pauses)),
+            ("drops", Json::from(drops)),
+            ("retx_pkts", Json::from(retx)),
+            ("aborted_flows", Json::from(aborted)),
+        ]));
     }
+    report::put("rows", Json::Arr(rows));
     println!("paper: without DCQCN user throughput collapses as degree grows (PAUSE");
     println!("cascades); with DCQCN it is flat, and incast tail gets its fair share");
     println!("(~40/degree Gbps).");

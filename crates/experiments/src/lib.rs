@@ -13,6 +13,7 @@
 pub mod common;
 pub mod ext_faults;
 pub mod extensions;
+pub mod report;
 pub mod runner;
 pub mod scenarios;
 
@@ -44,8 +45,42 @@ pub const ALL: &[&str] = &[
     "fig12", "fig13", "fig14", "sec4", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
 ];
 
+/// Extension experiment ids, in dispatch order (`ext` runs them all).
+pub const EXT: &[&str] = &[
+    "ext-rai",
+    "ext-beta",
+    "ext-prio",
+    "ext-timely",
+    "ext-start",
+    "ext-fattree",
+    "ext-stability",
+    "ext-linkflap",
+    "ext-pausestorm",
+];
+
 /// Dispatches one experiment by id. Returns false for unknown ids.
+///
+/// When a [`report`] sink is active (the `--json` flag or a test
+/// capture), each dispatched id produces one finalized report; `ext`
+/// re-dispatches its members so every extension gets its own.
 pub fn dispatch(id: &str, quick: bool) -> bool {
+    if id == "ext" {
+        for sub in EXT {
+            dispatch(sub, quick);
+        }
+        return true;
+    }
+    report::begin(id);
+    let known = dispatch_inner(id, quick);
+    if known {
+        report::finish(id, quick);
+    } else {
+        report::discard();
+    }
+    known
+}
+
+fn dispatch_inner(id: &str, quick: bool) -> bool {
     match id {
         "fig1" => fig01_tcp_vs_rdma::run(quick),
         "fig2" => fig02_testbed::run(quick),
@@ -77,10 +112,6 @@ pub fn dispatch(id: &str, quick: bool) -> bool {
         "ext-stability" => extensions::stability(quick),
         "ext-linkflap" => ext_faults::link_flap(quick),
         "ext-pausestorm" => ext_faults::pause_storm(quick),
-        "ext" => {
-            extensions::run_all(quick);
-            ext_faults::run_all(quick);
-        }
         _ => return false,
     }
     true

@@ -1,25 +1,47 @@
 //! `repro` — regenerate every table and figure of the DCQCN paper.
 //!
 //! ```text
-//! repro all [--quick]     run every experiment
-//! repro fig16 [--quick]   run one experiment
-//! repro list              list experiment ids
+//! repro all [--quick] [--json <dir>]     run every experiment
+//! repro fig16 [--quick] [--json <dir>]   run one experiment
+//! repro list                             list experiment ids
 //! ```
+//!
+//! `--json <dir>` additionally writes one machine-readable report per
+//! experiment to `<dir>/<id>.json` — deterministic byte-for-byte across
+//! `REPRO_THREADS` settings (see DESIGN.md, "Telemetry").
 
+use std::path::Path;
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let ids: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.as_str())
-        .collect();
+    let mut ids: Vec<&str> = Vec::new();
+    let mut json_dir: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => match it.next() {
+                Some(d) => json_dir = Some(d.as_str()),
+                None => {
+                    eprintln!("--json requires an output directory");
+                    std::process::exit(2);
+                }
+            },
+            flag if flag.starts_with("--") => {} // e.g. --quick, handled above
+            id => ids.push(id),
+        }
+    }
+    if let Some(dir) = json_dir {
+        if let Err(e) = experiments::report::set_dir(Path::new(dir)) {
+            eprintln!("cannot create report directory {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
 
     match ids.first().copied() {
         None | Some("help") => {
-            eprintln!("usage: repro <id>|all|list [--quick]");
+            eprintln!("usage: repro <id>|all|list [--quick] [--json <dir>]");
             eprintln!("ids: {}", experiments::ALL.join(" "));
         }
         Some("list") => {

@@ -8,6 +8,7 @@ use netsim::faults::{FaultConfig, FaultPlan};
 use netsim::packet::{FlowId, DATA_PRIORITY};
 use netsim::stats::SamplerConfig;
 use netsim::switch::PfcWatchdogConfig;
+use netsim::telemetry::Json;
 use netsim::topology::{clos_testbed, ClosTestbed, LinkParams};
 use netsim::units::{Duration, Time};
 use workloads::traffic::{
@@ -35,6 +36,17 @@ pub fn testbed(
 /// send greedily to R under T4. Returns per-host goodput (Gbps) measured
 /// over `[warmup, duration]`.
 pub fn unfairness_run(cc: CcChoice, seed: u64, duration: Duration, warmup: Duration) -> Vec<f64> {
+    unfairness_run_full(cc, seed, duration, warmup).0
+}
+
+/// [`unfairness_run`] plus the run's full telemetry report (counters,
+/// histograms, per-flow stats) for `--json` output.
+pub fn unfairness_run_full(
+    cc: CcChoice,
+    seed: u64,
+    duration: Duration,
+    warmup: Duration,
+) -> (Vec<f64>, Json) {
     let mut tb = testbed(cc, true, false, 5, seed);
     let senders = [
         tb.hosts[0][0],
@@ -60,10 +72,11 @@ pub fn unfairness_run(cc: CcChoice, seed: u64, duration: Duration, warmup: Durat
     );
     let end = Time::ZERO + duration;
     tb.net.run_until(end);
-    flows
+    let goodputs = flows
         .iter()
         .map(|&fl| tb.net.goodput_gbps(fl, Time::ZERO + warmup, end))
-        .collect()
+        .collect();
+    (goodputs, tb.net.telemetry_report())
 }
 
 /// The Figure 4/9 victim-flow scenario: H11–H14 (under T1) plus
@@ -77,6 +90,17 @@ pub fn victim_run(
     duration: Duration,
     warmup: Duration,
 ) -> f64 {
+    victim_run_full(cc, t3_senders, seed, duration, warmup).0
+}
+
+/// [`victim_run`] plus the run's full telemetry report for `--json`.
+pub fn victim_run_full(
+    cc: CcChoice,
+    t3_senders: usize,
+    seed: u64,
+    duration: Duration,
+    warmup: Duration,
+) -> (f64, Json) {
     let mut tb = testbed(cc, true, false, 5, seed);
     let receiver = tb.hosts[3][0];
     let vs = tb.hosts[0][4];
@@ -103,7 +127,8 @@ pub fn victim_run(
     );
     let end = Time::ZERO + duration;
     tb.net.run_until(end);
-    tb.net.goodput_gbps(victim, Time::ZERO + warmup, end)
+    let goodput = tb.net.goodput_gbps(victim, Time::ZERO + warmup, end);
+    (goodput, tb.net.telemetry_report())
 }
 
 /// Configuration of a §6.2 benchmark run.
@@ -148,6 +173,8 @@ pub struct BenchmarkResult {
     pub aborted: u64,
     /// Total events executed (cost accounting).
     pub events: u64,
+    /// The run's full telemetry report for `--json` output.
+    pub telemetry: Json,
 }
 
 /// Runs the §6.2 benchmark: 20 hosts (5 per rack), `pairs` user pairs
@@ -230,6 +257,7 @@ pub fn benchmark_run(cfg: &BenchmarkConfig) -> BenchmarkResult {
         timeouts,
         aborted,
         events: tb.net.events_executed(),
+        telemetry: tb.net.telemetry_report(),
     }
 }
 
@@ -239,12 +267,17 @@ pub fn benchmark_run(cfg: &BenchmarkConfig) -> BenchmarkResult {
 pub struct LinkFlapResult {
     /// Aggregate goodput (Gbps) across all flows, in 1 ms bins.
     pub bins: Vec<f64>,
-    /// Flows that exhausted their transport retries and tore down.
+    /// Flows that exhausted their transport retries and tore down —
+    /// the telemetry registry's `qp_teardowns` counter.
     pub aborts: usize,
     /// Route recomputations triggered by link transitions.
     pub reroutes: u64,
-    /// Packets dropped on the wire while the link was down.
+    /// Fault-tagged wire drops — the telemetry registry's `fault_drops`
+    /// counter (the flap is the only fault installed, so every tagged
+    /// drop is a link-down drop).
     pub link_drops: u64,
+    /// The run's full telemetry report for `--json` output.
+    pub telemetry: Json,
 }
 
 /// A fabric link (T1–L1) flaps mid-run while eight inter-pod flows cross
@@ -321,16 +354,16 @@ pub fn link_flap_run(
                 .sum()
         })
         .collect();
-    let aborts = flows
-        .iter()
-        .filter(|&&fl| tb.net.flow_stats(fl).aborted)
-        .count();
+    // Degradation counters come straight from the telemetry registry —
+    // the same numbers any `--json` consumer sees — instead of being
+    // re-derived from per-flow stats or the packet trace.
     let fs = tb.net.fault_stats();
     LinkFlapResult {
         bins,
-        aborts,
+        aborts: tb.net.metric("qp_teardowns") as usize,
         reroutes: fs.reroutes,
-        link_drops: fs.link_drops,
+        link_drops: tb.net.metric("fault_drops"),
+        telemetry: tb.net.telemetry_report(),
     }
 }
 
@@ -343,10 +376,14 @@ pub struct PauseStormResult {
     pub victim_after_gbps: f64,
     /// PAUSE frames received at the two spines (congestion spreading).
     pub spine_pause_rx: u64,
-    /// Watchdog trips across all switches.
+    /// Watchdog trips — the telemetry registry's `watchdog_trips`
+    /// counter.
     pub watchdog_trips: u64,
-    /// Watchdog restores across all switches.
+    /// Watchdog restores — the telemetry registry's `watchdog_restores`
+    /// counter.
     pub watchdog_restores: u64,
+    /// The run's full telemetry report for `--json` output.
+    pub telemetry: Json,
 }
 
 /// The §2.2 victim-flow topology under a malfunctioning NIC instead of an
@@ -401,13 +438,10 @@ pub fn pause_storm_victim_run(
     let end = Time::ZERO + duration;
     tb.net.run_until(end);
 
+    // Spine PAUSE counts need per-node attribution, so they stay on the
+    // per-switch stats; the fabric-wide watchdog counters come from the
+    // telemetry registry, same as any `--json` consumer sees them.
     let mut spine_pause_rx = 0;
-    let (mut trips, mut restores) = (0, 0);
-    for &s in tb.tors.iter().chain(&tb.leaves).chain(&tb.spines) {
-        let st = tb.net.switch_stats(s);
-        trips += st.watchdog_trips;
-        restores += st.watchdog_restores;
-    }
     for &s in &tb.spines {
         spine_pause_rx += tb.net.switch_stats(s).pause_rx;
     }
@@ -422,7 +456,8 @@ pub fn pause_storm_victim_run(
             .net
             .goodput_gbps(victim, storm_until + Duration::from_millis(1), end),
         spine_pause_rx,
-        watchdog_trips: trips,
-        watchdog_restores: restores,
+        watchdog_trips: tb.net.metric("watchdog_trips"),
+        watchdog_restores: tb.net.metric("watchdog_restores"),
+        telemetry: tb.net.telemetry_report(),
     }
 }

@@ -63,6 +63,10 @@ pub struct Violation {
     pub at: Time,
     /// The invariant that broke.
     pub kind: ViolationKind,
+    /// The node the violation is attributed to, when one is identifiable
+    /// (drives the telemetry flight-recorder dump; `None` for global
+    /// checks like time monotonicity).
+    pub node: Option<NodeId>,
     /// Human-readable context: which switch/port/flow, and the values seen.
     pub context: String,
 }
@@ -99,10 +103,15 @@ impl Auditor {
 
     /// Records a violation (bounded; see `MAX_RECORDED`).
     #[cfg(feature = "sanitize")]
-    fn violate(&mut self, at: Time, kind: ViolationKind, context: String) {
+    fn violate(&mut self, at: Time, kind: ViolationKind, node: Option<NodeId>, context: String) {
         self.state.total_violations += 1;
         if self.state.violations.len() < MAX_RECORDED {
-            self.state.violations.push(Violation { at, kind, context });
+            self.state.violations.push(Violation {
+                at,
+                kind,
+                node,
+                context,
+            });
         }
     }
 
@@ -116,6 +125,7 @@ impl Auditor {
                 self.violate(
                     at,
                     ViolationKind::TimeRegression,
+                    None,
                     format!("event at {at} after event at {last}"),
                 );
             }
@@ -158,6 +168,7 @@ impl Auditor {
                 self.violate(
                     at,
                     ViolationKind::BufferConservation,
+                    Some(node),
                     format!(
                         "switch {}: occupied {occupied} B != ingress sum {ingress_total} B",
                         node.0
@@ -168,6 +179,7 @@ impl Auditor {
                 self.violate(
                     at,
                     ViolationKind::BufferConservation,
+                    Some(node),
                     format!(
                         "switch {}: occupied {occupied} B exceeds pool {pool_bytes} B",
                         node.0
@@ -188,6 +200,7 @@ impl Auditor {
                 self.violate(
                     at,
                     ViolationKind::PfcPairing,
+                    Some(node),
                     format!(
                         "switch {} port {port} prio {prio}: PAUSE while already paused",
                         node.0
@@ -208,6 +221,7 @@ impl Auditor {
                 self.violate(
                     at,
                     ViolationKind::PfcPairing,
+                    Some(node),
                     format!(
                         "switch {} port {port} prio {prio}: RESUME while not paused",
                         node.0
@@ -230,6 +244,7 @@ impl Auditor {
                 self.violate(
                     at,
                     ViolationKind::LosslessDrop,
+                    Some(node),
                     format!("switch {}: drop on lossless priority {prio}", node.0),
                 );
             }
@@ -282,10 +297,11 @@ impl Auditor {
         0
     }
 
-    /// A receiver accepted `psn` of `flow` in order. Go-back-N receivers
-    /// accept exactly 0, 1, 2, … — anything else is a transport bug.
+    /// A receiver on `node` accepted `psn` of `flow` in order. Go-back-N
+    /// receivers accept exactly 0, 1, 2, … — anything else is a transport
+    /// bug.
     #[inline]
-    pub fn on_in_order_accept(&mut self, flow: FlowId, psn: u64, at: Time) {
+    pub fn on_in_order_accept(&mut self, node: NodeId, flow: FlowId, psn: u64, at: Time) {
         #[cfg(feature = "sanitize")]
         {
             let expected = self.state.expected_psn.entry(flow.0).or_insert(0);
@@ -294,24 +310,35 @@ impl Auditor {
                 self.violate(
                     at,
                     ViolationKind::SequenceError,
+                    Some(node),
                     format!("flow {}: accepted PSN {psn}, expected {want}", flow.0),
                 );
             }
             self.state.expected_psn.insert(flow.0, psn + 1);
         }
         #[cfg(not(feature = "sanitize"))]
-        let _ = (flow, psn, at);
+        let _ = (node, flow, psn, at);
     }
 
-    /// Sender-side go-back-N bookkeeping must keep `una ≤ send ≤ next`.
+    /// Sender-side go-back-N bookkeeping on `node` must keep
+    /// `una ≤ send ≤ next`.
     #[inline]
-    pub fn check_flow_psns(&mut self, flow: FlowId, una: u64, send: u64, next: u64, at: Time) {
+    pub fn check_flow_psns(
+        &mut self,
+        node: NodeId,
+        flow: FlowId,
+        una: u64,
+        send: u64,
+        next: u64,
+        at: Time,
+    ) {
         #[cfg(feature = "sanitize")]
         {
             if !(una <= send && send <= next) {
                 self.violate(
                     at,
                     ViolationKind::SequenceError,
+                    Some(node),
                     format!(
                         "flow {}: PSN order broke (una {una}, send {send}, next {next})",
                         flow.0
@@ -320,13 +347,19 @@ impl Auditor {
             }
         }
         #[cfg(not(feature = "sanitize"))]
-        let _ = (flow, una, send, next, at);
+        let _ = (node, flow, una, send, next, at);
     }
 
     /// Domain check on a congestion-control algorithm's self-reported
-    /// state (see [`crate::cc::CcAuditInfo`]).
+    /// state (see [`crate::cc::CcAuditInfo`]); `node` is the sending host.
     #[inline]
-    pub fn check_cc(&mut self, flow: FlowId, info: &crate::cc::CcAuditInfo, at: Time) {
+    pub fn check_cc(
+        &mut self,
+        node: NodeId,
+        flow: FlowId,
+        info: &crate::cc::CcAuditInfo,
+        at: Time,
+    ) {
         #[cfg(feature = "sanitize")]
         {
             if let Some(alpha) = info.alpha {
@@ -334,6 +367,7 @@ impl Auditor {
                     self.violate(
                         at,
                         ViolationKind::CcDomain,
+                        Some(node),
                         format!("flow {}: alpha {alpha} outside [0, 1]", flow.0),
                     );
                 }
@@ -342,6 +376,7 @@ impl Auditor {
                 self.violate(
                     at,
                     ViolationKind::CcDomain,
+                    Some(node),
                     format!(
                         "flow {}: rate ordering broke (R_C {} > R_T {} or R_T > line {})",
                         flow.0, info.rate, info.target, info.line
@@ -350,7 +385,7 @@ impl Auditor {
             }
         }
         #[cfg(not(feature = "sanitize"))]
-        let _ = (flow, info, at);
+        let _ = (node, flow, info, at);
     }
 
     /// Violations recorded so far (empty without the feature).
@@ -461,19 +496,20 @@ mod tests {
     #[test]
     fn out_of_order_accept_is_caught() {
         let mut a = Auditor::default();
-        a.on_in_order_accept(FlowId(7), 0, Time::ZERO);
-        a.on_in_order_accept(FlowId(7), 1, Time::ZERO);
+        a.on_in_order_accept(NodeId(4), FlowId(7), 0, Time::ZERO);
+        a.on_in_order_accept(NodeId(4), FlowId(7), 1, Time::ZERO);
         assert!(a.is_clean());
-        a.on_in_order_accept(FlowId(7), 3, Time::ZERO);
+        a.on_in_order_accept(NodeId(4), FlowId(7), 3, Time::ZERO);
         assert_eq!(a.violations()[0].kind, ViolationKind::SequenceError);
+        assert_eq!(a.violations()[0].node, Some(NodeId(4)));
     }
 
     #[test]
     fn psn_order_is_checked() {
         let mut a = Auditor::default();
-        a.check_flow_psns(FlowId(1), 5, 7, 9, Time::ZERO);
+        a.check_flow_psns(NodeId(0), FlowId(1), 5, 7, 9, Time::ZERO);
         assert!(a.is_clean());
-        a.check_flow_psns(FlowId(1), 8, 7, 9, Time::ZERO);
+        a.check_flow_psns(NodeId(0), FlowId(1), 8, 7, 9, Time::ZERO);
         assert_eq!(a.violations()[0].kind, ViolationKind::SequenceError);
     }
 
@@ -488,18 +524,18 @@ mod tests {
             line: Bandwidth::gbps(40),
             alpha: Some(0.5),
         };
-        a.check_cc(FlowId(0), &ok, Time::ZERO);
+        a.check_cc(NodeId(0), FlowId(0), &ok, Time::ZERO);
         assert!(a.is_clean());
         let bad_alpha = CcAuditInfo {
             alpha: Some(1.5),
             ..ok
         };
-        a.check_cc(FlowId(0), &bad_alpha, Time::ZERO);
+        a.check_cc(NodeId(0), FlowId(0), &bad_alpha, Time::ZERO);
         let bad_order = CcAuditInfo {
             rate: Bandwidth::gbps(50),
             ..ok
         };
-        a.check_cc(FlowId(0), &bad_order, Time::ZERO);
+        a.check_cc(NodeId(0), FlowId(0), &bad_order, Time::ZERO);
         assert_eq!(a.violations().len(), 2);
         assert!(a
             .violations()

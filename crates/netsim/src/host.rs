@@ -287,8 +287,16 @@ impl Host {
     pub fn receive(&mut self, ctx: &mut Ctx, pkt: Packet) {
         match pkt.kind {
             PacketKind::Pfc { class, pause } => {
-                let released = self.port.apply_pfc(class, pause, ctx.queue.now());
+                let now = ctx.queue.now();
+                let paused_since = self.port.rx_paused_since[class as usize];
+                let released = self.port.apply_pfc(class, pause, now);
                 if released {
+                    if paused_since != Time::NEVER {
+                        ctx.metrics.observe(
+                            ctx.metrics.h.pause_duration_us,
+                            now.saturating_since(paused_since).as_micros_f64() as u64,
+                        );
+                    }
                     self.try_send(ctx);
                 }
             }
@@ -354,10 +362,17 @@ impl Host {
                     Some(last) => now - last >= n,
                 };
                 if due {
+                    if let Some(last) = rcv.last_cnp {
+                        ctx.metrics.observe(
+                            ctx.metrics.h.cnp_interarrival_us,
+                            (now - last).as_micros_f64() as u64,
+                        );
+                    }
                     rcv.last_cnp = Some(now);
                     cnp = Some(Packet::cnp(host_id, rcv.src, pkt.flow));
                     ctx.stats(pkt.flow).cnps_sent += 1;
-                    ctx.tracer.record(TraceEvent {
+                    ctx.metrics.inc(ctx.metrics.h.cnps_sent);
+                    ctx.record_trace(TraceEvent {
                         at: now,
                         node: host_id,
                         flow: pkt.flow,
@@ -370,7 +385,7 @@ impl Host {
 
         if psn == rcv.expected_psn {
             // In-order: accept.
-            ctx.audit.on_in_order_accept(pkt.flow, psn, now);
+            ctx.audit.on_in_order_accept(host_id, pkt.flow, psn, now);
             rcv.expected_psn += 1;
             rcv.last_nack_psn = u64::MAX;
             rcv.pkts_since_ack += 1;
@@ -380,7 +395,7 @@ impl Host {
             let st = ctx.stats(pkt.flow);
             st.delivered_pkts += 1;
             st.delivered_bytes += payload;
-            ctx.tracer.record(TraceEvent {
+            ctx.record_trace(TraceEvent {
                 at: now,
                 node: host_id,
                 flow: pkt.flow,
@@ -410,7 +425,8 @@ impl Host {
                 rcv.last_nack_at = now;
                 control = Some(Packet::nack(host_id, rcv.src, pkt.flow, expected));
                 ctx.stats(pkt.flow).nacks_sent += 1;
-                ctx.tracer.record(TraceEvent {
+                ctx.metrics.inc(ctx.metrics.h.nacks_sent);
+                ctx.record_trace(TraceEvent {
                     at: now,
                     node: host_id,
                     flow: pkt.flow,
@@ -471,6 +487,11 @@ impl Host {
                 started: m.arrived,
                 bytes: m.total,
             });
+            ctx.metrics.inc(ctx.metrics.h.completions);
+            ctx.metrics.observe(
+                ctx.metrics.h.fct_us,
+                now.saturating_since(m.arrived).as_micros_f64() as u64,
+            );
         }
 
         // RTO management: progress pushes the (soft) deadline out, full
@@ -560,12 +581,17 @@ impl Host {
                         // Transport retry count exhausted: QP error.
                         f.dead = true;
                         f.rto_deadline = Time::NEVER;
-                        ctx.stats(f.id).aborted = true;
+                        let id = f.id;
+                        ctx.stats(id).aborted = true;
+                        ctx.metrics.inc(ctx.metrics.h.qp_teardowns);
+                        ctx.flight
+                            .dump(self.id, now, &format!("qp_teardown flow={}", id.0));
                         return;
                     }
                     f.send_psn = f.una_psn;
                     ctx.stats(f.id).timeouts += 1;
-                    ctx.tracer.record(TraceEvent {
+                    ctx.metrics.inc(ctx.metrics.h.timeouts);
+                    ctx.record_trace(TraceEvent {
                         at: now,
                         node: self.id,
                         flow: f.id,
@@ -668,9 +694,9 @@ impl Host {
             let now = ctx.queue.now();
             let f = &self.flows[flow];
             ctx.audit
-                .check_flow_psns(f.id, f.una_psn, f.send_psn, f.next_psn, now);
+                .check_flow_psns(self.id, f.id, f.una_psn, f.send_psn, f.next_psn, now);
             if let Some(info) = f.cc.audit_info() {
-                ctx.audit.check_cc(f.id, &info, now);
+                ctx.audit.check_cc(self.id, f.id, &info, now);
             }
         }
     }
@@ -772,6 +798,7 @@ impl Host {
 
         if is_retx {
             ctx.stats(f.id).retx_pkts += 1;
+            ctx.metrics.inc(ctx.metrics.h.retx_pkts);
         } else {
             f.unacked.push_back(SentPkt {
                 payload: payload as u32,

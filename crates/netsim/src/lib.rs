@@ -58,6 +58,7 @@ pub mod rng;
 pub mod routing;
 pub mod stats;
 pub mod switch;
+pub mod telemetry;
 pub mod topology;
 pub mod trace;
 pub mod units;
@@ -74,5 +75,6 @@ pub mod prelude {
     pub use crate::packet::{FlowId, CONTROL_PRIORITY, DATA_PRIORITY, HEADER_BYTES};
     pub use crate::stats::{median, percentile, FlowStats, SamplerConfig};
     pub use crate::switch::{PfcWatchdogConfig, SwitchConfig};
+    pub use crate::telemetry::{Json, Metrics};
     pub use crate::units::{bytes, Bandwidth, Duration, Time};
 }

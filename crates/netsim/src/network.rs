@@ -13,9 +13,16 @@ use crate::rng::SplitMix64;
 use crate::routing::{compute_routes_masked, Edge};
 use crate::stats::{FlowStats, SampledSeries, SamplerConfig, SwitchStats};
 use crate::switch::{Switch, SwitchConfig};
+use crate::telemetry::profile::Profiler;
+use crate::telemetry::recorder::{FlightDump, FlightRecorder};
+use crate::telemetry::{Json, Metrics};
 use crate::trace::{TraceEvent, TraceKind, Tracer};
 use crate::units::{Bandwidth, Duration, Time};
 use std::collections::HashMap;
+
+/// Trace-ring capacity per node when the flight recorder is enabled
+/// automatically alongside the sanitize auditor.
+const DEFAULT_FLIGHT_CAPACITY: usize = 64;
 
 /// A node is either a switch or a host.
 pub enum Node {
@@ -42,12 +49,26 @@ pub struct Ctx {
     /// Runtime invariant auditor (active only with the `sanitize`
     /// feature; otherwise every call is an inlined no-op).
     pub audit: Auditor,
+    /// The telemetry metrics registry. Hot-path updates go through the
+    /// `Copy` handles in `metrics.h` — one array index, no hashing.
+    pub metrics: Metrics,
+    /// Per-node flight recorder (disabled by default; auto-enabled when
+    /// the sanitize auditor is compiled in).
+    pub flight: FlightRecorder,
 }
 
 impl Ctx {
     /// Mutable access to a flow's counters (created on first touch).
     pub fn stats(&mut self, id: FlowId) -> &mut FlowStats {
         self.flow_stats.entry(id).or_default()
+    }
+
+    /// Records a trace event to both the packet tracer and the flight
+    /// recorder (each is one branch when disabled).
+    #[inline]
+    pub fn record_trace(&mut self, event: TraceEvent) {
+        self.tracer.record(event);
+        self.flight.record(event);
     }
 }
 
@@ -182,6 +203,12 @@ impl NetworkBuilder {
         let mut rng = SplitMix64::new(self.seed);
         let ecmp_salt = rng.next_u64();
         let num_links = edges.len();
+        let mut flight = FlightRecorder::new(n);
+        if Auditor::enabled() {
+            // With the auditor compiled in, a violation must always yield
+            // an event history — enable the recorder from the start.
+            flight.enable(DEFAULT_FLIGHT_CAPACITY);
+        }
         Network {
             nodes,
             ctx: Ctx {
@@ -191,6 +218,8 @@ impl NetworkBuilder {
                 flow_stats: HashMap::new(),
                 tracer: Tracer::disabled(),
                 audit: Auditor::default(),
+                metrics: Metrics::standard(),
+                flight,
             },
             edges,
             dests,
@@ -202,6 +231,8 @@ impl NetworkBuilder {
             sample_interval: None,
             samples: SampledSeries::default(),
             hooks: Vec::new(),
+            profiler: Profiler::new(),
+            dumped_violations: 0,
         }
     }
 }
@@ -230,6 +261,11 @@ pub struct Network {
     sampler: SamplerConfig,
     sample_interval: Option<Duration>,
     hooks: Vec<Option<Hook>>,
+    /// Event-loop self-profiler (`--features profile`; no-op otherwise).
+    profiler: Profiler,
+    /// How many recorded auditor violations have already triggered a
+    /// flight-recorder dump (cursor into `audit.violations()`).
+    dumped_violations: usize,
 }
 
 impl Network {
@@ -415,7 +451,8 @@ impl Network {
         let (a, pa, b, pb) = self.edges[link.0];
         self.reset_pfc_at(a, pa);
         self.reset_pfc_at(b, pb);
-        self.ctx.tracer.record(TraceEvent {
+        self.ctx.metrics.inc(self.ctx.metrics.h.link_transitions);
+        self.ctx.record_trace(TraceEvent {
             at: self.ctx.queue.now(),
             node: a,
             flow: FlowId(u64::MAX),
@@ -486,6 +523,7 @@ impl Network {
                             .pfc_queue
                             .push_back(Packet::pfc(host, att.peer, class, true));
                         faults.stats.storm_pauses += 1;
+                        ctx.metrics.inc(ctx.metrics.h.storm_pauses);
                         h.try_send(ctx);
                     }
                 }
@@ -512,11 +550,38 @@ impl Network {
             }
             let (_, event) = self.ctx.queue.pop().expect("peeked");
             self.ctx.audit.on_event(t);
+            let kind = if Profiler::enabled() {
+                event.kind_index()
+            } else {
+                0
+            };
+            // `mark` is `()` without the profile feature.
+            #[allow(clippy::let_unit_value)]
+            let mark = self.profiler.mark();
             self.dispatch(event);
+            self.profiler.on_event(kind, mark);
             if self.ctx.audit.buffer_check_due() {
                 self.audit_buffers_now();
             }
+            // Dead branch without the sanitize feature (`violations()`
+            // is a constant empty slice).
+            if self.ctx.audit.violations().len() != self.dumped_violations {
+                self.flight_dump_new_violations();
+            }
         }
+    }
+
+    /// Snapshots the flight recorder for every newly recorded auditor
+    /// violation that names a node. Cold path.
+    fn flight_dump_new_violations(&mut self) {
+        let Ctx { audit, flight, .. } = &mut self.ctx;
+        let violations = audit.violations();
+        for v in violations.iter().skip(self.dumped_violations) {
+            if let Some(node) = v.node {
+                flight.dump(node, v.at, &format!("{:?}: {}", v.kind, v.context));
+            }
+        }
+        self.dumped_violations = violations.len();
     }
 
     /// The runtime invariant auditor's findings (always empty without the
@@ -542,11 +607,139 @@ impl Network {
                 );
             }
         }
+        // Tests call this directly (outside the event loop), so sweep for
+        // dumps here too, not only in `run_until`.
+        if self.ctx.audit.violations().len() != self.dumped_violations {
+            self.flight_dump_new_violations();
+        }
     }
 
     /// Total events executed so far.
     pub fn events_executed(&self) -> u64 {
         self.ctx.queue.events_executed()
+    }
+
+    /// Enables the per-node flight recorder with `capacity` events per
+    /// node (on by default when the `sanitize` feature is compiled in).
+    pub fn enable_flight_recorder(&mut self, capacity: usize) {
+        self.ctx.flight.enable(capacity);
+    }
+
+    /// Flight-recorder dumps taken so far (violations and QP teardowns).
+    pub fn flight_dumps(&self) -> &[FlightDump] {
+        self.ctx.flight.dumps()
+    }
+
+    /// Cold name-based counter lookup (0 for unknown names). The hot path
+    /// never uses this — it updates through `ctx.metrics.h` handles.
+    pub fn metric(&self, name: &str) -> u64 {
+        // Post-run accessor, never inside the dispatch loop.
+        // simlint: allow(metric-lookup)
+        self.ctx.metrics.registry.counter_value(name).unwrap_or(0)
+    }
+
+    /// Builds the machine-readable run report: every registered counter,
+    /// gauge and histogram, per-flow stats, fault/audit tallies, and (with
+    /// `--features profile`) the event-loop profile. Deterministic for a
+    /// deterministic run — same topology, workload and seed ⇒ identical
+    /// JSON (the profile section is host-clock data and is only present
+    /// when that feature is compiled in).
+    pub fn telemetry_report(&self) -> Json {
+        let now = self.ctx.queue.now();
+        let reg = &self.ctx.metrics.registry;
+
+        let mut counters = Json::obj(vec![]);
+        for (name, value) in reg.counters() {
+            counters.push(name, Json::UInt(value));
+        }
+        let mut gauges = Json::obj(vec![]);
+        for (name, value) in reg.gauges() {
+            gauges.push(name, Json::UInt(value));
+        }
+        let mut histograms = Json::obj(vec![]);
+        for (name, hist) in reg.histograms() {
+            let buckets = Json::Arr(
+                hist.nonzero_buckets()
+                    .map(|(floor, count)| {
+                        Json::obj(vec![
+                            ("count", Json::UInt(count)),
+                            ("ge", Json::UInt(floor)),
+                        ])
+                    })
+                    .collect(),
+            );
+            histograms.push(
+                name,
+                Json::obj(vec![
+                    ("buckets", buckets),
+                    ("count", Json::UInt(hist.count())),
+                    ("max", Json::UInt(hist.max())),
+                    ("mean", Json::Float(hist.mean())),
+                    ("min", Json::UInt(hist.min())),
+                    ("p50", Json::UInt(hist.percentile(50.0))),
+                    ("p99", Json::UInt(hist.percentile(99.0))),
+                ]),
+            );
+        }
+
+        let secs = now.as_secs_f64();
+        let flows = Json::Arr(
+            self.flow_order
+                .iter()
+                .map(|&id| {
+                    let st = &self.ctx.flow_stats[&id];
+                    let goodput = if secs > 0.0 {
+                        st.delivered_bytes as f64 * 8.0 / secs / 1e9
+                    } else {
+                        0.0
+                    };
+                    Json::obj(vec![
+                        ("aborted", Json::Bool(st.aborted)),
+                        ("cnps_sent", Json::UInt(st.cnps_sent)),
+                        ("completions", Json::UInt(st.completions.len() as u64)),
+                        ("delivered_bytes", Json::UInt(st.delivered_bytes)),
+                        ("goodput_gbps", Json::Float(goodput)),
+                        ("id", Json::UInt(id.0)),
+                        ("nacks_sent", Json::UInt(st.nacks_sent)),
+                        ("retx_pkts", Json::UInt(st.retx_pkts)),
+                        ("sent_pkts", Json::UInt(st.sent_pkts)),
+                        ("timeouts", Json::UInt(st.timeouts)),
+                    ])
+                })
+                .collect(),
+        );
+
+        let audit = Json::obj(vec![
+            ("fault_drops", Json::UInt(self.ctx.audit.fault_drops())),
+            (
+                "flight_dumps",
+                Json::UInt(self.ctx.flight.dumps().len() as u64),
+            ),
+            ("violations", Json::UInt(self.ctx.audit.total_violations())),
+        ]);
+        let fs = self.faults.stats;
+        let faults = Json::obj(vec![
+            ("crc_drops", Json::UInt(fs.crc_drops)),
+            ("link_drops", Json::UInt(fs.link_drops)),
+            ("reroutes", Json::UInt(fs.reroutes)),
+            ("storm_pauses", Json::UInt(fs.storm_pauses)),
+            ("transitions", Json::UInt(fs.transitions)),
+        ]);
+
+        let mut report = Json::obj(vec![
+            ("audit", audit),
+            ("counters", counters),
+            ("events_executed", Json::UInt(self.events_executed())),
+            ("faults", faults),
+            ("flows", flows),
+            ("gauges", gauges),
+            ("histograms", histograms),
+            ("sim_time_us", Json::Float(now.as_micros_f64())),
+        ]);
+        if let Some(profile) = self.profiler.report(self.ctx.queue.peak_pending()) {
+            report.push("profile", profile);
+        }
+        report
     }
 
     fn dispatch(&mut self, event: Event) {
@@ -568,7 +761,8 @@ impl Network {
                         if fate != WireFate::Deliver {
                             ctx.audit
                                 .on_fault_drop(node, pkt.priority as usize, ctx.queue.now());
-                            ctx.tracer.record(TraceEvent {
+                            ctx.metrics.inc(ctx.metrics.h.fault_drops);
+                            ctx.record_trace(TraceEvent {
                                 at: ctx.queue.now(),
                                 node,
                                 flow: pkt.flow,

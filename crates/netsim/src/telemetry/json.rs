@@ -1,0 +1,267 @@
+//! Deterministic JSON rendering, no external crates.
+//!
+//! The run reports written by the experiments binary must be
+//! byte-identical across `REPRO_THREADS`, machines, and reruns, so this
+//! module makes every formatting decision explicit:
+//!
+//! * object keys are rendered in sorted order regardless of insertion
+//!   order;
+//! * floats use Rust's shortest-round-trip `{}` formatting, with `.0`
+//!   appended to integral values (so `3` renders as `3.0`, never `3`),
+//!   `-0.0` normalized to `0.0`, and non-finite values rendered as
+//!   `null` (JSON has no NaN/Inf);
+//! * output is pretty-printed with two-space indentation and `\n` line
+//!   endings only.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (covers `u64` values above `i64::MAX`).
+    UInt(u64),
+    /// A float, rendered per the module contract.
+    Float(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Keys are sorted at render time; duplicate keys keep
+    /// their first occurrence.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Pushes a key/value pair onto an object.
+    ///
+    /// # Panics
+    /// Panics if `self` is not [`Json::Obj`].
+    pub fn push(&mut self, key: &str, value: Json) {
+        match self {
+            Json::Obj(pairs) => pairs.push((key.to_string(), value)),
+            _ => panic!("Json::push on non-object"),
+        }
+    }
+
+    /// Renders with sorted keys and 2-space indentation, ending in a
+    /// single trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Float(f) => out.push_str(&fmt_f64(*f)),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                let mut order: Vec<usize> = (0..pairs.len()).collect();
+                order.sort_by(|&a, &b| pairs[a].0.cmp(&pairs[b].0).then(a.cmp(&b)));
+                out.push('{');
+                let mut first = true;
+                let mut last_key: Option<&str> = None;
+                for &i in &order {
+                    let (key, value) = &pairs[i];
+                    if last_key == Some(key.as_str()) {
+                        continue; // duplicate key: keep first occurrence
+                    }
+                    last_key = Some(key.as_str());
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Deterministic float formatting: shortest round-trip representation,
+/// forced to contain a `.` or exponent (`3` → `"3.0"`), `-0.0`
+/// normalized to `"0.0"`, non-finite values rendered as `"null"`.
+pub fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    let v = if v == 0.0 { 0.0 } else { v }; // normalize -0.0
+    let mut s = format!("{v}");
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        s.push_str(".0");
+    }
+    s
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_render_sorted() {
+        let j = Json::obj(vec![
+            ("zeta", Json::UInt(1)),
+            ("alpha", Json::UInt(2)),
+            ("mid", Json::Null),
+        ]);
+        assert_eq!(
+            j.render(),
+            "{\n  \"alpha\": 2,\n  \"mid\": null,\n  \"zeta\": 1\n}\n"
+        );
+    }
+
+    #[test]
+    fn float_formatting_is_fixed() {
+        assert_eq!(fmt_f64(3.0), "3.0");
+        assert_eq!(fmt_f64(-0.0), "0.0");
+        assert_eq!(fmt_f64(0.1), "0.1");
+        assert_eq!(fmt_f64(1e30), "1000000000000000000000000000000.0");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        assert_eq!(fmt_f64(-2.5), "-2.5");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let j = Json::Str("a\"b\\c\nd\u{1}".to_string());
+        assert_eq!(j.render(), "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+
+    #[test]
+    fn nested_structure_renders_stably() {
+        let j = Json::obj(vec![
+            ("arr", Json::Arr(vec![Json::UInt(1), Json::Bool(false)])),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::obj(vec![])),
+        ]);
+        let expected = "{\n  \"arr\": [\n    1,\n    false\n  ],\n  \"empty_arr\": [],\n  \"empty_obj\": {}\n}\n";
+        assert_eq!(j.render(), expected);
+    }
+
+    #[test]
+    fn duplicate_keys_keep_first() {
+        let j = Json::obj(vec![("k", Json::UInt(1)), ("k", Json::UInt(2))]);
+        assert_eq!(j.render(), "{\n  \"k\": 1\n}\n");
+    }
+}

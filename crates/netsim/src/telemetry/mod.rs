@@ -1,0 +1,49 @@
+//! Telemetry subsystem: metrics registry, HDR-style histograms, flight
+//! recorder, deterministic JSON, and an optional event-loop profiler.
+//!
+//! The paper's evaluation (§5) is measurement: per-flow throughput,
+//! pause-frame counts, queue-depth CDFs, mark/drop/retransmit tallies.
+//! This module family makes every run produce those measurables
+//! natively, with hot-path costs suitable for the packet pipeline:
+//!
+//! * [`registry`] — named counters, gauges and log2-bucket histograms
+//!   registered **once** at build time and updated through `Copy`
+//!   handles, so an update is a single array index (no hashing, no
+//!   allocation per event).
+//! * [`hist`] — the allocation-free [`Histogram`] backing the registry:
+//!   65 log2 buckets plus exact count/sum/min/max.
+//! * [`recorder`] — the [`FlightRecorder`]: a bounded ring of recent
+//!   trace events per node, snapshotted automatically when the sanitize
+//!   auditor records a violation or a QP is torn down.
+//! * [`json`] — a small deterministic JSON renderer (sorted keys, fixed
+//!   float formatting) used for the experiments binary's `--json` run
+//!   reports; no external crates.
+//! * [`profile`] — the event-loop self-profiler behind
+//!   `--features profile`; every call is an inlined no-op without it.
+//!
+//! The simulator owns one [`Metrics`] per network (see
+//! `Network::telemetry_report`); experiments read it back by handle or
+//! by name when building reports.
+//!
+//! ```
+//! use netsim::telemetry::Metrics;
+//!
+//! let mut m = Metrics::standard();
+//! let h = m.h; // Copy handles: capture once, use on the hot path
+//! m.inc(h.ecn_marks);
+//! m.observe(h.queue_depth_bytes, 4096);
+//! assert_eq!(m.registry.counter_value("ecn_marks"), Some(1));
+//! assert_eq!(m.registry.hist_get(h.queue_depth_bytes).count(), 1);
+//! ```
+
+pub mod hist;
+pub mod json;
+pub mod profile;
+pub mod recorder;
+pub mod registry;
+
+pub use hist::Histogram;
+pub use json::{fmt_f64, Json};
+pub use profile::{ProfMark, Profiler};
+pub use recorder::{FlightDump, FlightRecorder};
+pub use registry::{CounterId, GaugeId, HistId, Metrics, Registry, WellKnown};

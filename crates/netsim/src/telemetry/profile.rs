@@ -1,0 +1,154 @@
+//! Event-loop self-profiler, compiled in behind `--features profile`.
+//!
+//! When the feature is off (the default) every method is an inlined
+//! no-op and [`Profiler::enabled`] is `const false`, so the event loop's
+//! profiling hooks fold away entirely. When on, the profiler counts
+//! events processed per [`crate::event::Event`] kind, accumulates
+//! wall-clock time per kind, and tracks total run wall-clock.
+//!
+//! Profile numbers come from the **host clock** ([`std::time::Instant`])
+//! and are therefore NOT deterministic — they are reported in the JSON
+//! run reports under a separate `profile` section that determinism
+//! checks must run without (the CI byte-diff job builds without this
+//! feature).
+
+use super::json::Json;
+#[cfg(feature = "profile")]
+use crate::event::EVENT_KIND_NAMES;
+
+/// Number of event kinds tracked (mirrors
+/// [`crate::event::EVENT_KIND_NAMES`]).
+#[cfg(feature = "profile")]
+const KINDS: usize = EVENT_KIND_NAMES.len();
+
+/// Opaque timestamp returned by [`Profiler::mark`]. Zero-sized when
+/// profiling is compiled out.
+#[cfg(feature = "profile")]
+pub type ProfMark = std::time::Instant;
+/// Opaque timestamp returned by [`Profiler::mark`]. Zero-sized when
+/// profiling is compiled out.
+#[cfg(not(feature = "profile"))]
+pub type ProfMark = ();
+
+#[cfg(feature = "profile")]
+#[derive(Debug, Clone)]
+struct ProfState {
+    events_by_kind: [u64; KINDS],
+    wall_by_kind: [std::time::Duration; KINDS],
+    started: std::time::Instant,
+}
+
+/// Per-run event-loop profiler. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    #[cfg(feature = "profile")]
+    state: Option<ProfState>,
+}
+
+impl Profiler {
+    /// A fresh profiler (starts its run clock when built with the
+    /// feature).
+    pub fn new() -> Profiler {
+        #[cfg(feature = "profile")]
+        {
+            Profiler {
+                state: Some(ProfState {
+                    events_by_kind: [0; KINDS],
+                    wall_by_kind: [std::time::Duration::ZERO; KINDS],
+                    started: std::time::Instant::now(),
+                }),
+            }
+        }
+        #[cfg(not(feature = "profile"))]
+        {
+            Profiler {}
+        }
+    }
+
+    /// Whether profiling is compiled in. `const`, so guarded code folds
+    /// away without the feature.
+    #[inline]
+    pub const fn enabled() -> bool {
+        cfg!(feature = "profile")
+    }
+
+    /// Takes a timestamp before dispatching an event.
+    #[inline]
+    pub fn mark(&self) -> ProfMark {
+        #[cfg(feature = "profile")]
+        {
+            std::time::Instant::now()
+        }
+    }
+
+    /// Attributes the time since `mark` to event kind `kind`
+    /// (an index from [`crate::event::Event::kind_index`]).
+    #[inline]
+    pub fn on_event(&mut self, kind: usize, mark: ProfMark) {
+        #[cfg(feature = "profile")]
+        if let Some(s) = &mut self.state {
+            s.events_by_kind[kind] += 1;
+            s.wall_by_kind[kind] += mark.elapsed();
+        }
+        #[cfg(not(feature = "profile"))]
+        let _ = (kind, mark);
+    }
+
+    /// The profile report as JSON, or `None` when compiled out.
+    /// `peak_pending` is the event queue's high-water mark (tracked by
+    /// [`crate::event::EventQueue`] under the same feature).
+    pub fn report(&self, peak_pending: usize) -> Option<Json> {
+        #[cfg(feature = "profile")]
+        {
+            let s = self.state.as_ref()?;
+            let mut by_kind = Json::obj(vec![]);
+            for (i, name) in EVENT_KIND_NAMES.iter().enumerate() {
+                by_kind.push(
+                    name,
+                    Json::obj(vec![
+                        ("events", Json::UInt(s.events_by_kind[i])),
+                        (
+                            "wall_us",
+                            Json::Float(s.wall_by_kind[i].as_secs_f64() * 1e6),
+                        ),
+                    ]),
+                );
+            }
+            Some(Json::obj(vec![
+                ("events_by_kind", by_kind),
+                ("peak_pending_events", Json::UInt(peak_pending as u64)),
+                (
+                    "run_wall_us",
+                    Json::Float(s.started.elapsed().as_secs_f64() * 1e6),
+                ),
+            ]))
+        }
+        #[cfg(not(feature = "profile"))]
+        {
+            let _ = peak_pending;
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiler_matches_feature() {
+        let mut p = Profiler::new();
+        // `m` is `()` without the profile feature.
+        #[allow(clippy::let_unit_value)]
+        let m = p.mark();
+        p.on_event(0, m);
+        if Profiler::enabled() {
+            let r = p.report(3).expect("report present with feature");
+            let text = r.render();
+            assert!(text.contains("\"peak_pending_events\": 3"));
+            assert!(text.contains("\"events_by_kind\""));
+        } else {
+            assert!(p.report(3).is_none());
+        }
+    }
+}

@@ -209,4 +209,54 @@ mod tests {
     fn zero_capacity_rejected() {
         Tracer::disabled().enable(0);
     }
+
+    #[test]
+    fn wraparound_at_exact_capacity_boundary() {
+        let mut t = Tracer::disabled();
+        t.enable(4);
+        for i in 0..4 {
+            t.record(ev(i, TraceKind::Marked));
+        }
+        // Exactly full: everything retained, nothing evicted yet.
+        assert_eq!(t.len(), 4);
+        let details: Vec<u64> = t.iter().map(|e| e.detail).collect();
+        assert_eq!(details, vec![0, 1, 2, 3]);
+        // The next record is the first wrap: oldest out, order intact.
+        t.record(ev(4, TraceKind::Marked));
+        let details: Vec<u64> = t.iter().map(|e| e.detail).collect();
+        assert_eq!(details, vec![1, 2, 3, 4]);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn re_enable_clears_and_resizes() {
+        let mut t = Tracer::disabled();
+        t.enable(8);
+        for i in 0..5 {
+            t.record(ev(i, TraceKind::Marked));
+        }
+        // Re-enabling starts a fresh ring at the new capacity; old
+        // events are gone and the new bound applies immediately.
+        t.enable(2);
+        assert!(t.is_enabled());
+        assert!(t.is_empty());
+        for i in 10..13 {
+            t.record(ev(i, TraceKind::Delivered));
+        }
+        let details: Vec<u64> = t.iter().map(|e| e.detail).collect();
+        assert_eq!(details, vec![11, 12]);
+    }
+
+    #[test]
+    fn disabled_tracer_stays_empty_under_load() {
+        // The one-branch guarantee: a disabled tracer records nothing no
+        // matter how many events flow past it, and never allocates.
+        let mut t = Tracer::disabled();
+        for i in 0..10_000 {
+            t.record(ev(i, TraceKind::Delivered));
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.iter().count(), 0);
+    }
 }

@@ -71,6 +71,43 @@ fn corrupted_buffer_occupancy_is_caught() {
     assert!(v.iter().any(|v| v.context.contains("exceeds pool")));
 }
 
+/// A violation automatically dumps the offending node's flight-recorder
+/// ring: the dump names the switch, carries the violation kind in its
+/// reason, and holds the node's most recent trace events.
+#[test]
+fn violation_dumps_the_offending_nodes_flight_recorder() {
+    let mut s = star(
+        2,
+        LinkParams::default(),
+        host_cfg(),
+        SwitchConfig::paper_default(),
+        1,
+    );
+    let f = s.net.add_flow(s.hosts[0], s.hosts[1], DATA_PRIORITY, |l| {
+        Box::new(NoCc::new(l))
+    });
+    s.net.send_message(f, u64::MAX, Time::ZERO);
+    s.net.run_until(Time::from_millis(1));
+    assert!(s.net.flight_dumps().is_empty(), "clean run, no dumps");
+
+    let sw = s.switch;
+    s.net.switch_mut(sw).buffer.debug_set_occupied(123_456_789);
+    s.net.audit_buffers_now();
+    assert!(!s.net.audit().is_clean());
+    let dumps = s.net.flight_dumps();
+    assert!(!dumps.is_empty(), "violation produced no flight dump");
+    assert!(
+        dumps.iter().any(|d| d.node == sw),
+        "dump names the offending switch"
+    );
+    let d = dumps.iter().find(|d| d.node == sw).unwrap();
+    assert!(
+        d.reason.contains("BufferConservation") || d.reason.contains("exceeds pool"),
+        "reason carries the violation: {}",
+        d.reason
+    );
+}
+
 /// A congestion-control implementation that reports α and rates outside
 /// the documented domains (α > 1, R_C > R_T).
 struct BrokenCc {

@@ -21,9 +21,16 @@
 //!   and no `==`/`!=` against float literals in `stats.rs` (percentile
 //!   machinery must use `total_cmp` and epsilon tests).
 //! * **hot-unwrap** — no `unwrap()`/`expect()` in the per-event hot path
-//!   (`event.rs`, `host.rs`, `switch.rs`, `port.rs`): a malformed packet
-//!   or state-machine corner must degrade (drop, debug_assert) rather
+//!   (`event.rs`, `host.rs`, `switch.rs`, `port.rs`, and the telemetry
+//!   registry/recorder that sit on it): a malformed packet or
+//!   state-machine corner must degrade (drop, debug_assert) rather
 //!   than abort a multi-minute experiment run.
+//! * **metric-lookup** — no string-keyed metric lookups (`.counter("`,
+//!   `.counter_value(`, …) in the per-event hot path or the dispatch
+//!   loop. Metrics are registered once and updated through `Copy`
+//!   handles (`CounterId`/`GaugeId`/`HistId`) so the per-event cost is
+//!   one array index — a by-name lookup there reintroduces the string
+//!   scan the telemetry design exists to avoid.
 //!
 //! Suppression: a `// simlint: allow(<rule>)` comment on the offending
 //! line or the line above silences that rule there. Allowlisting requires
@@ -58,13 +65,39 @@ const COUNTER_TOKENS: [&str; 8] = [
     "free",
 ];
 
-/// Files forming the per-event hot path (hot-unwrap rule).
-const HOT_FILES: [&str; 5] = [
+/// Files forming the per-event hot path (hot-unwrap rule). The telemetry
+/// registry and flight recorder are on it: every counter bump and trace
+/// record runs per event.
+const HOT_FILES: [&str; 7] = [
     "crates/netsim/src/event.rs",
     "crates/netsim/src/host.rs",
     "crates/netsim/src/switch.rs",
     "crates/netsim/src/port.rs",
     "crates/netsim/src/faults.rs",
+    "crates/netsim/src/telemetry/registry.rs",
+    "crates/netsim/src/telemetry/recorder.rs",
+];
+
+/// Files where by-name metric lookups are banned (metric-lookup rule):
+/// the hot path plus the dispatch loop in `network.rs`.
+const METRIC_LOOKUP_FILES: [&str; 6] = [
+    "crates/netsim/src/event.rs",
+    "crates/netsim/src/host.rs",
+    "crates/netsim/src/switch.rs",
+    "crates/netsim/src/port.rs",
+    "crates/netsim/src/faults.rs",
+    "crates/netsim/src/network.rs",
+];
+
+/// String-keyed registry calls: registration forms (a string literal as
+/// the first argument) and the by-name read-side accessors.
+const METRIC_LOOKUP_NEEDLES: [&str; 6] = [
+    ".counter(\"",
+    ".gauge(\"",
+    ".histogram(\"",
+    ".counter_value(",
+    ".gauge_value(",
+    ".hist_by_name(",
 ];
 
 /// Methods that iterate a map in unspecified order.
@@ -456,6 +489,7 @@ fn allowed(src: &SourceFile, idx: usize, rule: &str) -> bool {
 fn lint_source(src: &SourceFile, map_names: &[String], findings: &mut Vec<Finding>) {
     let is_counter_file = COUNTER_FILES.contains(&src.rel.as_str());
     let is_hot_file = HOT_FILES.contains(&src.rel.as_str());
+    let is_metric_file = METRIC_LOOKUP_FILES.contains(&src.rel.as_str());
     let is_stats = src.rel == "crates/netsim/src/stats.rs";
 
     for (idx, line) in src.code.iter().enumerate() {
@@ -583,6 +617,22 @@ fn lint_source(src: &SourceFile, map_names: &[String], findings: &mut Vec<Findin
                  let-else with a degrade path (drop + debug_assert)"
                     .into(),
             );
+        }
+
+        // ---- metric-lookup --------------------------------------------
+        if is_metric_file {
+            for n in METRIC_LOOKUP_NEEDLES {
+                if line.contains(n) {
+                    report(
+                        "metric-lookup",
+                        format!(
+                            "`{n}...` string-keyed metric lookup on the hot \
+                             path; resolve a CounterId/GaugeId/HistId handle \
+                             at registration and index through it"
+                        ),
+                    );
+                }
+            }
         }
     }
 }
@@ -738,6 +788,42 @@ mod tests {
         assert!(run("crates/netsim/src/network.rs", bad).is_empty());
         let expect = "let a = self.attach.expect(\"attached\");\n";
         assert_eq!(run("crates/netsim/src/port.rs", expect), vec!["hot-unwrap"]);
+    }
+
+    #[test]
+    fn metric_lookup_scoped_to_hot_path_and_dispatch_loop() {
+        let by_name = "let v = self.ctx.metrics.registry.counter_value(name);\n";
+        assert_eq!(
+            run("crates/netsim/src/network.rs", by_name),
+            vec!["metric-lookup"]
+        );
+        assert_eq!(
+            run("crates/netsim/src/switch.rs", by_name),
+            vec!["metric-lookup"]
+        );
+        // The registry itself registers by name — that's the cold path.
+        assert!(run("crates/netsim/src/telemetry/registry.rs", by_name).is_empty());
+        let register = "let id = reg.counter(\"ecn_marks\");\n";
+        assert_eq!(
+            run("crates/netsim/src/host.rs", register),
+            vec!["metric-lookup"]
+        );
+        // Handle-indexed updates are the sanctioned hot-path form.
+        let handle = "ctx.metrics.inc(ctx.metrics.h.ecn_marks);\n";
+        assert!(run("crates/netsim/src/switch.rs", handle).is_empty());
+    }
+
+    #[test]
+    fn telemetry_hot_files_are_unwrap_checked() {
+        let bad = "let x = self.rings.get_mut(i).unwrap();\n";
+        assert_eq!(
+            run("crates/netsim/src/telemetry/recorder.rs", bad),
+            vec!["hot-unwrap"]
+        );
+        assert_eq!(
+            run("crates/netsim/src/telemetry/registry.rs", bad),
+            vec!["hot-unwrap"]
+        );
     }
 
     #[test]
