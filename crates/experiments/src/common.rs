@@ -10,6 +10,7 @@ use netsim::cc::{CongestionControl, NoCc};
 use netsim::ecn::RedConfig;
 use netsim::host::HostConfig;
 use netsim::switch::{QcnCpConfig, SwitchConfig};
+use netsim::telemetry::{Json, SpanState, NUM_SPAN_STATES};
 use netsim::units::{Bandwidth, Duration};
 
 /// Which end-to-end congestion control a scenario runs.
@@ -158,6 +159,45 @@ pub fn mmm(values: &[f64]) -> String {
         v[0],
         netsim::stats::median(&v),
         v[v.len() - 1]
+    )
+}
+
+/// Prints a span-attributed time breakdown as an indented table: one
+/// line per state (µs and share of `total`), plus the attributed sum —
+/// which equals the measured FCT when the breakdown came from a
+/// completion snapshot (the decomposition identity).
+pub fn print_breakdown(breakdown: &[Duration; NUM_SPAN_STATES], total: Duration) {
+    let total_us = total.as_micros_f64();
+    for state in SpanState::ALL {
+        let d = breakdown[state as usize];
+        if d == Duration::ZERO {
+            continue;
+        }
+        let us = d.as_micros_f64();
+        let share = if total_us > 0.0 {
+            100.0 * us / total_us
+        } else {
+            0.0
+        };
+        println!("  {:>15}: {us:>10.1} us ({share:5.1}%)", state.name());
+    }
+    let sum: Duration = breakdown.iter().copied().sum();
+    println!(
+        "  {:>15}: {:>10.1} us (fct {:.1} us)",
+        "sum",
+        sum.as_micros_f64(),
+        total_us
+    );
+}
+
+/// A span-attributed breakdown as a `{state: microseconds}` JSON object
+/// for `--json` reports.
+pub fn breakdown_json(breakdown: &[Duration; NUM_SPAN_STATES]) -> Json {
+    Json::obj(
+        SpanState::ALL
+            .iter()
+            .map(|&s| (s.name(), Json::from(breakdown[s as usize].as_micros_f64())))
+            .collect(),
     )
 }
 

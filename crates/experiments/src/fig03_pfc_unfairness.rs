@@ -3,11 +3,11 @@
 //! H4, alone on its ingress port at T4, beats H1–H3, who share T4's two
 //! uplinks depending on the ECMP draw (the parking-lot problem).
 
-use crate::common::{banner, mmm, CcChoice, RunScale};
+use crate::common::{banner, breakdown_json, mmm, print_breakdown, CcChoice, RunScale};
 use crate::report;
 use crate::runner::par_runs;
-use crate::scenarios::unfairness_run_full;
-use netsim::telemetry::Json;
+use crate::scenarios::{unfairness_attribution, unfairness_run_full};
+use netsim::telemetry::{Json, SpanState};
 use netsim::units::Duration;
 
 /// Runs the scenario across seeds and prints per-host min/median/max.
@@ -80,6 +80,34 @@ pub fn run_with(cc: CcChoice, scale: RunScale) {
             println!("  spread across all hosts/draws: {spread:.2} Gbps — paper: equal shares, little variance");
         }
     }
+
+    // Causal attribution (serial, one seed): where did H1's time go?
+    // Under PFC alone a shared-uplink sender is PAUSE-blocked by T1; an
+    // end-to-end scheme replaces that with rate-limiter throttling.
+    let att_dur = duration + extra_dur;
+    let bd = unfairness_attribution(cc, seeds[0], att_dur);
+    println!(
+        "H1 time attribution over {:.0} ms (seed {}):",
+        att_dur.as_secs_f64() * 1e3,
+        seeds[0]
+    );
+    print_breakdown(&bd, att_dur);
+    let blocked = bd[SpanState::PauseBlocked as usize];
+    let throttled = bd[SpanState::Throttled as usize];
+    match cc {
+        CcChoice::None => assert!(
+            blocked > throttled,
+            "PFC-only H1 must be dominated by pause_blocked \
+             ({blocked} vs throttled {throttled})"
+        ),
+        CcChoice::Dcqcn(_) => assert!(
+            throttled > blocked,
+            "DCQCN H1 must be dominated by throttled \
+             ({throttled} vs pause_blocked {blocked})"
+        ),
+        _ => {}
+    }
+    report::put("h1_breakdown_us", breakdown_json(&bd));
 }
 
 /// Runs the experiment.

@@ -2,12 +2,12 @@
 //! no link with the incast bottleneck still collapses, because PAUSEs
 //! cascade from T4 up through the spines and down to T1's uplinks.
 
-use crate::common::{banner, mmm, CcChoice, RunScale};
+use crate::common::{banner, breakdown_json, mmm, print_breakdown, CcChoice, RunScale};
 use crate::report;
 use crate::runner::par_map;
-use crate::scenarios::victim_run;
-use netsim::telemetry::Json;
-use netsim::units::Duration;
+use crate::scenarios::{attribution_run, victim_run};
+use netsim::telemetry::{Json, SpanState};
+use netsim::units::{Duration, Time};
 
 /// Runs the scenario and prints the victim's median goodput per
 /// T3-sender count.
@@ -41,6 +41,53 @@ pub fn run_with(cc: CcChoice, scale: RunScale) {
         ]));
     }
     report::put("rows", Json::Arr(rows));
+
+    // Causal attribution (serial, one seed): decompose the victim's FCT
+    // into named causes with the worst-case incast (2 senders under T3)
+    // and check the scheme's signature — PFC alone leaves the victim
+    // pause-blocked; an end-to-end scheme shifts that time into
+    // rate-limiter throttling.
+    let att = attribution_run(
+        cc,
+        2,
+        1_000_000,
+        seeds[0],
+        Time::ZERO + warmup + extra_warm,
+        duration + extra_dur,
+    );
+    assert!(att.completed, "victim's finite message must complete");
+    println!(
+        "victim FCT attribution (2 senders under T3, seed {}):",
+        seeds[0]
+    );
+    print_breakdown(&att.breakdown, att.fct);
+    let blocked = att.breakdown[SpanState::PauseBlocked as usize];
+    let throttled = att.breakdown[SpanState::Throttled as usize];
+    match cc {
+        CcChoice::None => assert!(
+            blocked > throttled,
+            "PFC-only victim must be dominated by pause_blocked \
+             ({blocked} vs throttled {throttled})"
+        ),
+        CcChoice::Dcqcn(_) => assert!(
+            throttled > blocked,
+            "DCQCN victim must be dominated by throttled \
+             ({throttled} vs pause_blocked {blocked})"
+        ),
+        _ => {}
+    }
+    if let Some(root) = att.tree.roots.first() {
+        println!(
+            "  congestion root: node {} port {} ({} victim flows)",
+            root.node.0,
+            root.port.0,
+            att.tree.victims.len()
+        );
+    }
+    report::put("victim_fct_us", Json::from(att.fct.as_micros_f64()));
+    report::put("victim_breakdown_us", breakdown_json(&att.breakdown));
+    report::put("congestion_tree", att.tree.to_json());
+    report::put_trace(&att.trace);
 }
 
 /// Runs the experiment.

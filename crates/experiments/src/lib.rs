@@ -11,6 +11,7 @@
 //! ```
 
 pub mod common;
+pub mod ext_attribution;
 pub mod ext_faults;
 pub mod extensions;
 pub mod report;
@@ -56,6 +57,7 @@ pub const EXT: &[&str] = &[
     "ext-stability",
     "ext-linkflap",
     "ext-pausestorm",
+    "ext-attribution",
 ];
 
 /// Dispatches one experiment by id. Returns false for unknown ids.
@@ -112,6 +114,7 @@ fn dispatch_inner(id: &str, quick: bool) -> bool {
         "ext-stability" => extensions::stability(quick),
         "ext-linkflap" => ext_faults::link_flap(quick),
         "ext-pausestorm" => ext_faults::pause_storm(quick),
+        "ext-attribution" => ext_attribution::run(quick),
         _ => return false,
     }
     true

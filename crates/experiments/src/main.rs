@@ -1,26 +1,41 @@
 //! `repro` — regenerate every table and figure of the DCQCN paper.
 //!
 //! ```text
-//! repro all [--quick] [--json <dir>]     run every experiment
-//! repro fig16 [--quick] [--json <dir>]   run one experiment
+//! repro <id>... [--quick] [--json <dir>] [--trace <dir>]
+//! repro all [--quick]                    run every experiment
 //! repro list                             list experiment ids
 //! ```
 //!
+//! Several positional ids run in order: `repro fig3 fig4 fig9`. Unknown
+//! ids and unknown `--flags` are rejected up front with exit status 2 —
+//! nothing runs.
+//!
 //! `--json <dir>` additionally writes one machine-readable report per
-//! experiment to `<dir>/<id>.json` — deterministic byte-for-byte across
-//! `REPRO_THREADS` settings (see DESIGN.md, "Telemetry").
+//! experiment to `<dir>/<id>.json`; `--trace <dir>` writes a Chrome
+//! trace-event file (`<dir>/<id>.trace.json`, loadable in Perfetto or
+//! `about://tracing`) for the experiments that export a causal trace.
+//! Both are deterministic byte-for-byte across `REPRO_THREADS` settings
+//! (see DESIGN.md, "Telemetry" and "Causal tracing").
 
 use std::path::Path;
 use std::time::Instant;
 
+fn usage() {
+    eprintln!("usage: repro <id>...|all|list [--quick] [--json <dir>] [--trace <dir>]");
+    eprintln!("ids: {}", experiments::ALL.join(" "));
+    eprintln!("ext: ext {}", experiments::EXT.join(" "));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let mut quick = false;
     let mut ids: Vec<&str> = Vec::new();
     let mut json_dir: Option<&str> = None;
+    let mut trace_dir: Option<&str> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--quick" => quick = true,
             "--json" => match it.next() {
                 Some(d) => json_dir = Some(d.as_str()),
                 None => {
@@ -28,44 +43,80 @@ fn main() {
                     std::process::exit(2);
                 }
             },
-            flag if flag.starts_with("--") => {} // e.g. --quick, handled above
+            "--trace" => match it.next() {
+                Some(d) => trace_dir = Some(d.as_str()),
+                None => {
+                    eprintln!("--trace requires an output directory");
+                    std::process::exit(2);
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag '{flag}'");
+                usage();
+                std::process::exit(2);
+            }
             id => ids.push(id),
         }
     }
+
+    if ids.is_empty() || ids.contains(&"help") {
+        usage();
+        return;
+    }
+    if ids.contains(&"list") {
+        for id in experiments::ALL.iter().chain(experiments::EXT) {
+            println!("{id}");
+        }
+        return;
+    }
+    // Validate every id up front so a typo late in the list cannot waste
+    // the runs before it.
+    for id in &ids {
+        let known = *id == "all"
+            || *id == "ext"
+            || experiments::ALL.contains(id)
+            || experiments::EXT.contains(id);
+        if !known {
+            eprintln!("unknown experiment '{id}'");
+            usage();
+            std::process::exit(2);
+        }
+    }
+
     if let Some(dir) = json_dir {
         if let Err(e) = experiments::report::set_dir(Path::new(dir)) {
             eprintln!("cannot create report directory {dir}: {e}");
             std::process::exit(1);
         }
     }
+    if let Some(dir) = trace_dir {
+        if let Err(e) = experiments::report::set_trace_dir(Path::new(dir)) {
+            eprintln!("cannot create trace directory {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
 
-    match ids.first().copied() {
-        None | Some("help") => {
-            eprintln!("usage: repro <id>|all|list [--quick] [--json <dir>]");
-            eprintln!("ids: {}", experiments::ALL.join(" "));
-        }
-        Some("list") => {
-            for id in experiments::ALL {
-                println!("{id}");
+    let t0 = Instant::now();
+    let many = ids.len() > 1 || ids.contains(&"all") || ids.contains(&"ext");
+    for id in &ids {
+        match *id {
+            "all" => {
+                for id in experiments::ALL {
+                    let t = Instant::now();
+                    experiments::dispatch(id, quick);
+                    eprintln!("[{id} took {:.1}s]", t.elapsed().as_secs_f64());
+                }
             }
-        }
-        Some("all") => {
-            let t0 = Instant::now();
-            for id in experiments::ALL {
+            id => {
                 let t = Instant::now();
                 experiments::dispatch(id, quick);
-                eprintln!("[{id} took {:.1}s]", t.elapsed().as_secs_f64());
-            }
-            eprintln!("[total {:.1}s]", t0.elapsed().as_secs_f64());
-        }
-        Some(id) => {
-            if !experiments::dispatch(id, quick) {
-                eprintln!(
-                    "unknown experiment '{id}'; try: {}",
-                    experiments::ALL.join(" ")
-                );
-                std::process::exit(1);
+                if many {
+                    eprintln!("[{id} took {:.1}s]", t.elapsed().as_secs_f64());
+                }
             }
         }
+    }
+    if many {
+        eprintln!("[total {:.1}s]", t0.elapsed().as_secs_f64());
     }
 }

@@ -21,15 +21,19 @@ use std::sync::Mutex;
 /// worker threads never touch the collector.
 struct State {
     dir: Option<PathBuf>,
+    trace_dir: Option<PathBuf>,
     capture: bool,
     current: Option<Vec<(String, Json)>>,
+    current_id: Option<String>,
     captured: Vec<(String, String)>,
 }
 
 static STATE: Mutex<State> = Mutex::new(State {
     dir: None,
+    trace_dir: None,
     capture: false,
     current: None,
+    current_id: None,
     captured: Vec::new(),
 });
 
@@ -47,9 +51,44 @@ pub fn enabled() -> bool {
     s.dir.is_some() || s.capture
 }
 
-/// Opens a report for the experiment about to run (no-op without a sink).
-pub(crate) fn begin(_id: &str) {
+/// Enables Chrome-trace emission (`repro <id> --trace <dir>`): an
+/// experiment that exports a causal trace writes
+/// `<dir>/<id>.trace.json`. Creates the directory if needed.
+pub fn set_trace_dir(dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    STATE.lock().unwrap().trace_dir = Some(dir.to_path_buf());
+    Ok(())
+}
+
+/// Is a Chrome-trace sink active? Experiments gate their (serial)
+/// trace-producing attribution runs on this where the trace is the only
+/// consumer.
+pub fn trace_enabled() -> bool {
+    STATE.lock().unwrap().trace_dir.is_some()
+}
+
+/// Writes the dispatched experiment's Chrome trace to
+/// `<trace dir>/<id>.trace.json` (no-op without a trace sink). The
+/// render is a pure function of the run results and experiments export
+/// from the dispatch thread, so the file is byte-identical across
+/// `REPRO_THREADS` settings (the CI `trace-determinism` job pins this).
+pub fn put_trace(trace: &Json) {
+    let s = STATE.lock().unwrap();
+    let (Some(dir), Some(id)) = (&s.trace_dir, &s.current_id) else {
+        return;
+    };
+    let path = dir.join(format!("{id}.trace.json"));
+    if let Err(e) = std::fs::write(&path, trace.render()) {
+        eprintln!("report: cannot write {}: {e}", path.display());
+    }
+}
+
+/// Opens a report for the experiment about to run (no-op without a sink;
+/// the experiment id is remembered either way so [`put_trace`] can name
+/// its output file).
+pub(crate) fn begin(id: &str) {
     let mut s = STATE.lock().unwrap();
+    s.current_id = Some(id.to_string());
     if s.dir.is_some() || s.capture {
         s.current = Some(Vec::new());
     }
@@ -72,6 +111,7 @@ pub fn put(key: &str, value: Json) {
 /// writes `<dir>/<id>.json` and/or stores it for [`capture`].
 pub(crate) fn finish(id: &str, quick: bool) {
     let mut s = STATE.lock().unwrap();
+    s.current_id = None;
     let Some(mut pairs) = s.current.take() else {
         return;
     };
@@ -91,7 +131,9 @@ pub(crate) fn finish(id: &str, quick: bool) {
 
 /// Drops the open report (unknown experiment id).
 pub(crate) fn discard() {
-    STATE.lock().unwrap().current = None;
+    let mut s = STATE.lock().unwrap();
+    s.current = None;
+    s.current_id = None;
 }
 
 /// Runs experiment `id` with in-memory capture and returns its rendered

@@ -8,7 +8,7 @@ use netsim::faults::{FaultConfig, FaultPlan};
 use netsim::packet::{FlowId, DATA_PRIORITY};
 use netsim::stats::SamplerConfig;
 use netsim::switch::PfcWatchdogConfig;
-use netsim::telemetry::Json;
+use netsim::telemetry::{CongestionTree, Json, NUM_SPAN_STATES};
 use netsim::topology::{clos_testbed, ClosTestbed, LinkParams};
 use netsim::units::{Duration, Time};
 use workloads::traffic::{
@@ -129,6 +129,106 @@ pub fn victim_run_full(
     tb.net.run_until(end);
     let goodput = tb.net.goodput_gbps(victim, Time::ZERO + warmup, end);
     (goodput, tb.net.telemetry_report())
+}
+
+/// Result of an [`attribution_run`]: the Figure 4 victim's causally
+/// attributed FCT decomposition, the run's congestion tree, and its
+/// Chrome trace.
+#[derive(Debug, Clone)]
+pub struct AttributionResult {
+    /// Did the victim's finite message complete within the run?
+    pub completed: bool,
+    /// The victim's measured flow completion time.
+    pub fct: Duration,
+    /// Per-state attributed time, indexed by
+    /// [`netsim::telemetry::SpanState`]; sums exactly to `fct` when
+    /// `completed` (the identity the sanitize auditor enforces).
+    pub breakdown: [Duration; NUM_SPAN_STATES],
+    /// The pause-propagation graph folded into a congestion tree: root
+    /// port(s) and every victim flow.
+    pub tree: CongestionTree,
+    /// The Chrome trace-event export of the whole run.
+    pub trace: Json,
+    /// The run's full telemetry report for `--json` output.
+    pub telemetry: Json,
+}
+
+/// The Figure 4 victim-flow scenario with causal tracing: the incast
+/// senders transmit greedily from t = 0 while the victim VS→VR sends one
+/// finite `victim_bytes` message at `start_at` (late enough that a
+/// converging scheme has settled). Returns the victim's span-attributed
+/// FCT decomposition plus the run's congestion tree and Chrome trace.
+pub fn attribution_run(
+    cc: CcChoice,
+    t3_senders: usize,
+    victim_bytes: u64,
+    seed: u64,
+    start_at: Time,
+    duration: Duration,
+) -> AttributionResult {
+    let mut tb = testbed(cc, true, false, 5, seed);
+    let receiver = tb.hosts[3][0];
+    let vs = tb.hosts[0][4];
+    let vr = tb.hosts[1][0];
+    let f = cc.factory();
+    tb.net.enable_spans(256);
+    for i in 0..4 {
+        let fl = tb.net.add_flow(tb.hosts[0][i], receiver, DATA_PRIORITY, &f);
+        tb.net.send_message(fl, u64::MAX, Time::ZERO);
+    }
+    for i in 0..t3_senders {
+        let fl = tb.net.add_flow(tb.hosts[2][i], receiver, DATA_PRIORITY, &f);
+        tb.net.send_message(fl, u64::MAX, Time::ZERO);
+    }
+    let victim = tb.net.add_flow(vs, vr, DATA_PRIORITY, &f);
+    tb.net.send_message(victim, victim_bytes, start_at);
+    tb.net.run_until(Time::ZERO + duration);
+
+    let completion = tb.net.spans().completion(victim);
+    let breakdown = completion
+        .map(|c| c.accum)
+        .or_else(|| tb.net.span_breakdown(victim))
+        .unwrap_or([Duration::ZERO; NUM_SPAN_STATES]);
+    AttributionResult {
+        completed: completion.is_some(),
+        fct: completion.map_or(Duration::ZERO, |c| c.fct),
+        breakdown,
+        tree: tb.net.congestion_tree(),
+        trace: tb.net.chrome_trace(),
+        telemetry: tb.net.telemetry_report(),
+    }
+}
+
+/// The Figure 3 unfairness scenario with causal tracing: returns H1's
+/// (a T1 sender sharing T4's uplinks) span-attributed time breakdown
+/// over the whole run — under PFC alone it is dominated by
+/// `pause_blocked`, under an end-to-end scheme by `throttled`.
+pub fn unfairness_attribution(
+    cc: CcChoice,
+    seed: u64,
+    duration: Duration,
+) -> [Duration; NUM_SPAN_STATES] {
+    let mut tb = testbed(cc, true, false, 5, seed);
+    let senders = [
+        tb.hosts[0][0],
+        tb.hosts[0][1],
+        tb.hosts[0][2],
+        tb.hosts[3][0],
+    ];
+    let receiver = tb.hosts[3][1];
+    let f = cc.factory();
+    tb.net.enable_spans(256);
+    let flows: Vec<FlowId> = senders
+        .iter()
+        .map(|&h| tb.net.add_flow(h, receiver, DATA_PRIORITY, &f))
+        .collect();
+    for &fl in &flows {
+        tb.net.send_message(fl, u64::MAX, Time::ZERO);
+    }
+    tb.net.run_until(Time::ZERO + duration);
+    tb.net
+        .span_breakdown(flows[0])
+        .unwrap_or([Duration::ZERO; NUM_SPAN_STATES])
 }
 
 /// Configuration of a §6.2 benchmark run.

@@ -54,6 +54,10 @@ pub enum ViolationKind {
     /// A congestion-control algorithm left its documented domain
     /// (α ∉ [0, 1] or the rate ordering broke).
     CcDomain,
+    /// A flow's span timeline lost the FCT decomposition identity
+    /// (`serializing + queued + pause_blocked + throttled +
+    /// retransmitting + timed_out + idle != fct` at a completion).
+    SpanAccounting,
 }
 
 /// One recorded invariant violation, with event context.
@@ -388,6 +392,31 @@ impl Auditor {
         let _ = (node, flow, info, at);
     }
 
+    /// A flow's span timeline settled at a message completion with
+    /// `Σ per-state spans != fct` — the causal tracer lost or
+    /// double-counted an interval. `node` is the sending host.
+    #[inline]
+    pub fn on_span_mismatch(
+        &mut self,
+        node: NodeId,
+        flow: FlowId,
+        fct: crate::units::Duration,
+        sum: crate::units::Duration,
+        at: Time,
+    ) {
+        #[cfg(feature = "sanitize")]
+        {
+            self.violate(
+                at,
+                ViolationKind::SpanAccounting,
+                Some(node),
+                format!("flow {}: span sum {sum} != fct {fct} at completion", flow.0),
+            );
+        }
+        #[cfg(not(feature = "sanitize"))]
+        let _ = (node, flow, fct, sum, at);
+    }
+
     /// Violations recorded so far (empty without the feature).
     pub fn violations(&self) -> &[Violation] {
         #[cfg(feature = "sanitize")]
@@ -569,6 +598,22 @@ mod tests {
         // Port 5 was untouched: a second PAUSE there still violates.
         a.on_pause(NodeId(1), 5, 3, Time::ZERO);
         assert_eq!(a.violations()[0].kind, ViolationKind::PfcPairing);
+    }
+
+    #[test]
+    fn span_mismatch_is_a_violation() {
+        use crate::units::Duration;
+        let mut a = Auditor::default();
+        a.on_span_mismatch(
+            NodeId(2),
+            FlowId(5),
+            Duration::from_micros(10),
+            Duration::from_micros(11),
+            Time::ZERO,
+        );
+        assert_eq!(a.violations().len(), 1);
+        assert_eq!(a.violations()[0].kind, ViolationKind::SpanAccounting);
+        assert_eq!(a.violations()[0].node, Some(NodeId(2)));
     }
 
     #[test]

@@ -115,6 +115,14 @@ impl SharedBuffer {
         self.ingress[port][prio]
     }
 
+    /// The `(ingress occupancy, t_PFC)` pair justifying a PAUSE/RESUME
+    /// decision on ingress `(port, prio)` right now — recorded on the
+    /// causal tracer's pause-propagation edges so a congestion tree can
+    /// show *how full* the root port was when it first paused.
+    pub fn pause_detail(&self, port: usize, prio: usize) -> (u64, u64) {
+        (self.ingress_bytes(port, prio), self.pfc_threshold())
+    }
+
     /// The PFC threshold `t_PFC` under the current occupancy.
     pub fn pfc_threshold(&self) -> u64 {
         match self.config.threshold {

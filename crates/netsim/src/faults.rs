@@ -19,9 +19,31 @@
 //! failover in [`crate::network`] (re-running [`crate::routing::compute_routes_masked`]
 //! over the live links), and exponential RTO backoff in [`crate::host`].
 
-use crate::event::{LinkId, NodeId};
+use crate::event::{LinkId, NodeId, PortId};
+use crate::port::Attachment;
 use crate::rng::SplitMix64;
+use crate::telemetry::spans::PauseEdge;
 use crate::units::{Duration, Time};
+
+/// The causal-tracing edge describing one malfunctioning-NIC storm tick:
+/// a PAUSE from the host's NIC (`att` is its access attachment) to its
+/// switch, tagged `storm` so the congestion tree can tell fault-injected
+/// roots apart from genuine buffer-pressure PAUSEs (which carry the
+/// occupancy/threshold that justified them; a storm has neither).
+pub fn storm_pause_edge(host: NodeId, att: Attachment, class: u8, at: Time) -> PauseEdge {
+    PauseEdge {
+        at,
+        from: host,
+        from_port: PortId(0),
+        to: att.peer,
+        to_port: att.peer_port,
+        class,
+        pause: true,
+        storm: true,
+        depth: 0,
+        threshold: 0,
+    }
+}
 
 /// One scheduled fault action, carried inside [`crate::event::Event::Fault`].
 #[derive(Debug, Clone, Copy, PartialEq)]

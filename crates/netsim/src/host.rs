@@ -331,6 +331,7 @@ impl Host {
                 }
             }
         }
+        self.update_spans(ctx);
     }
 
     fn flow_index(&self, id: FlowId) -> Option<usize> {
@@ -492,6 +493,7 @@ impl Host {
                 ctx.metrics.h.fct_us,
                 now.saturating_since(m.arrived).as_micros_f64() as u64,
             );
+            ctx.complete_span(id, self.id, now);
         }
 
         // RTO management: progress pushes the (soft) deadline out, full
@@ -586,6 +588,7 @@ impl Host {
                         ctx.metrics.inc(ctx.metrics.h.qp_teardowns);
                         ctx.flight
                             .dump(self.id, now, &format!("qp_teardown flow={}", id.0));
+                        self.update_spans(ctx);
                         return;
                     }
                     f.send_psn = f.una_psn;
@@ -598,6 +601,9 @@ impl Host {
                         kind: TraceKind::Timeout,
                         detail: f.una_psn,
                     });
+                    // The stall that just ended was RTO wait: re-attribute
+                    // the open interval before the rewind changes state.
+                    ctx.spans.on_timeout(f.id, now);
                     // Exponential backoff: the k-th consecutive timeout
                     // waits min(2^(k−1), cap) × rto. ACK progress resets
                     // the count (receive_ack), returning to the base RTO.
@@ -642,6 +648,7 @@ impl Host {
                 }
             }
         }
+        self.update_spans(ctx);
     }
 
     /// Hands `bytes` to flow `flow` for transmission, resetting congestion
@@ -664,6 +671,7 @@ impl Host {
             arrived: now,
         });
         self.try_send(ctx);
+        self.update_spans(ctx);
     }
 
     /// Applies the timer actions accumulated in `self.scratch` (filled by
@@ -795,6 +803,7 @@ impl Host {
             *e = eom;
         }
         let wire = pkt.wire_bytes;
+        ctx.spans.on_data_tx(f.id, is_retx, now);
 
         if is_retx {
             ctx.stats(f.id).retx_pkts += 1;
@@ -843,7 +852,7 @@ impl Host {
         f.cc.on_send(now, wire, &mut self.scratch);
         self.apply_cc_actions(ctx, i);
 
-        self.port.enqueue(Queued::new(pkt, None));
+        self.port.enqueue(Queued::new(pkt, None).at(now));
         self.start_tx(ctx);
     }
 
@@ -883,8 +892,20 @@ impl Host {
                 debug_assert!(false, "transmitting port must be attached");
                 return;
             };
+            let now = ctx.queue.now();
+            if ctx.spans.is_enabled() && done.pkt.is_data() {
+                let ser = att.bandwidth.serialize(done.pkt.wire_bytes);
+                ctx.spans.record_hop(crate::telemetry::spans::HopSpan {
+                    flow: done.pkt.flow,
+                    node: self.id,
+                    port: PortId(0),
+                    enqueued: done.enqueued_at,
+                    start: now - ser,
+                    end: now,
+                });
+            }
             ctx.queue.schedule(
-                ctx.queue.now() + att.delay,
+                now + att.delay,
                 Event::Deliver {
                     node: att.peer,
                     port: att.peer_port,
@@ -893,6 +914,47 @@ impl Host {
             );
         }
         self.try_send(ctx);
+        self.update_spans(ctx);
+    }
+
+    /// Re-observes every flow's attributed state after an event that may
+    /// have changed what the NIC is doing (send start, PAUSE/RESUME, ACK,
+    /// timer). State changes always coincide with host events — the NIC
+    /// arms a wakeup for the earliest pacing deadline — so this lazy
+    /// observation reconstructs the timeline exactly. One branch when
+    /// causal tracing is off.
+    pub(crate) fn update_spans(&mut self, ctx: &mut Ctx) {
+        if !ctx.spans.is_enabled() {
+            return;
+        }
+        use crate::telemetry::spans::SpanState;
+        let now = ctx.queue.now();
+        let current_flow = self
+            .port
+            .current
+            .as_ref()
+            .filter(|q| q.pkt.is_data())
+            .map(|q| q.pkt.flow);
+        let pause_origin = self.port.attach.map(|a| (a.peer, a.peer_port));
+        for f in &self.flows {
+            let (state, detail, origin) = if current_flow == Some(f.id) {
+                // `set_state` re-labels this Retransmitting when the frame
+                // on the wire was flagged as a go-back-N resend.
+                (SpanState::Serializing, 0, None)
+            } else if f.has_data() {
+                if self.port.rx_paused[f.priority as usize] {
+                    (SpanState::PauseBlocked, 0, pause_origin)
+                } else if !f.window_permits() || f.next_eligible > now {
+                    let cnps = ctx.flow_stats.get(&f.id).map_or(0, |s| s.cnps_received);
+                    (SpanState::Throttled, cnps, None)
+                } else {
+                    (SpanState::Queued, 0, None)
+                }
+            } else {
+                (SpanState::Idle, 0, None)
+            };
+            ctx.spans.set_state(f.id, state, now, detail, origin);
+        }
     }
 }
 

@@ -15,6 +15,7 @@ use crate::stats::{FlowStats, SampledSeries, SamplerConfig, SwitchStats};
 use crate::switch::{Switch, SwitchConfig};
 use crate::telemetry::profile::Profiler;
 use crate::telemetry::recorder::{FlightDump, FlightRecorder};
+use crate::telemetry::spans::{CongestionTree, Spans, NUM_SPAN_STATES};
 use crate::telemetry::{Json, Metrics};
 use crate::trace::{TraceEvent, TraceKind, Tracer};
 use crate::units::{Bandwidth, Duration, Time};
@@ -55,6 +56,9 @@ pub struct Ctx {
     /// Per-node flight recorder (disabled by default; auto-enabled when
     /// the sanitize auditor is compiled in).
     pub flight: FlightRecorder,
+    /// Span-based causal tracer (disabled unless enabled on the network;
+    /// every hook is one branch when off).
+    pub spans: Spans,
 }
 
 impl Ctx {
@@ -69,6 +73,16 @@ impl Ctx {
     pub fn record_trace(&mut self, event: TraceEvent) {
         self.tracer.record(event);
         self.flight.record(event);
+    }
+
+    /// Settles a flow's span timeline at a message completion and routes
+    /// any FCT-decomposition mismatch (`Σ spans != fct`) to the sanitize
+    /// auditor. One branch when span tracing is disabled.
+    #[inline]
+    pub fn complete_span(&mut self, flow: FlowId, host: NodeId, now: Time) {
+        if let Some((fct, sum)) = self.spans.on_complete(flow, now) {
+            self.audit.on_span_mismatch(host, flow, fct, sum, now);
+        }
     }
 }
 
@@ -220,6 +234,7 @@ impl NetworkBuilder {
                 audit: Auditor::default(),
                 metrics: Metrics::standard(),
                 flight,
+                spans: Spans::disabled(),
             },
             edges,
             dests,
@@ -382,6 +397,10 @@ impl Network {
     }
 
     /// Enables packet-level tracing with a ring of `capacity` events.
+    ///
+    /// A `capacity` of 0 means "no tracing": the tracer is returned to
+    /// its disabled state (one branch per record) rather than an
+    /// always-empty ring that still pays the record cost.
     pub fn enable_trace(&mut self, capacity: usize) {
         self.ctx.tracer.enable(capacity);
     }
@@ -390,6 +409,37 @@ impl Network {
     /// called).
     pub fn trace(&self) -> &Tracer {
         &self.ctx.tracer
+    }
+
+    /// Enables span-based causal tracing (see `telemetry::spans`): up to
+    /// `capacity` closed spans per flow plus bounded hop spans and
+    /// PAUSE-propagation edges. A `capacity` of 0 disables it.
+    pub fn enable_spans(&mut self, capacity: usize) {
+        self.ctx.spans.enable(capacity);
+    }
+
+    /// The causal-tracing recorder (inert unless
+    /// [`Network::enable_spans`] was called).
+    pub fn spans(&self) -> &Spans {
+        &self.ctx.spans
+    }
+
+    /// A flow's per-state attributed time as of the current simulation
+    /// time (see `telemetry::spans` for the decomposition identity).
+    pub fn span_breakdown(&self, flow: FlowId) -> Option<[Duration; NUM_SPAN_STATES]> {
+        self.ctx.spans.breakdown(flow, self.now())
+    }
+
+    /// Folds recorded PAUSE/RESUME edges into the run's congestion tree:
+    /// root port(s), aggregated who-paused-whom edges, and victim flows.
+    pub fn congestion_tree(&self) -> CongestionTree {
+        self.ctx.spans.congestion_tree(self.now())
+    }
+
+    /// Renders everything the span tracer recorded as deterministic
+    /// Chrome trace-event JSON (loads in Perfetto / `about://tracing`).
+    pub fn chrome_trace(&self) -> Json {
+        self.ctx.spans.chrome_trace(self.now())
     }
 
     /// Enables periodic sampling of queues/flows every `interval`.
@@ -491,6 +541,7 @@ impl Network {
             Node::Host(h) => {
                 h.port.reset_pfc();
                 h.try_send(ctx);
+                h.update_spans(ctx);
             }
         }
     }
@@ -524,7 +575,13 @@ impl Network {
                             .push_back(Packet::pfc(host, att.peer, class, true));
                         faults.stats.storm_pauses += 1;
                         ctx.metrics.inc(ctx.metrics.h.storm_pauses);
+                        if ctx.spans.is_enabled() {
+                            ctx.spans.record_pause_edge(crate::faults::storm_pause_edge(
+                                host, att, class, now,
+                            ));
+                        }
                         h.try_send(ctx);
+                        h.update_spans(ctx);
                     }
                 }
                 let next = now + refresh;

@@ -31,6 +31,9 @@ pub struct Queued {
     pub pkt: Packet,
     /// `(ingress port index, priority)` for buffer release, if attributed.
     pub ingress: Option<(usize, usize)>,
+    /// When the packet entered this egress queue (`Time::ZERO` when not
+    /// stamped). Feeds the causal tracer's per-hop residency spans.
+    pub enqueued_at: Time,
     /// Whether this entry is counted in `queued_bytes` (PFC frames from
     /// the dedicated queue are not).
     counted: bool,
@@ -42,8 +45,16 @@ impl Queued {
         Queued {
             pkt,
             ingress,
+            enqueued_at: Time::ZERO,
             counted: false,
         }
+    }
+
+    /// Stamps the enqueue time (builder-style, for call sites that know
+    /// the clock).
+    pub fn at(mut self, now: Time) -> Queued {
+        self.enqueued_at = now;
+        self
     }
 }
 
@@ -128,6 +139,7 @@ impl Port {
             return Some(Queued {
                 pkt,
                 ingress: None,
+                enqueued_at: Time::ZERO,
                 counted: false,
             });
         }

@@ -290,6 +290,22 @@ impl Switch {
                     kind: TraceKind::PauseSent,
                     detail: prio as u64,
                 });
+                if ctx.spans.is_enabled() {
+                    let (depth, threshold) = self.buffer.pause_detail(in_port.0, prio);
+                    ctx.spans
+                        .record_pause_edge(crate::telemetry::spans::PauseEdge {
+                            at: now,
+                            from: self.id,
+                            from_port: in_port,
+                            to: att.peer,
+                            to_port: att.peer_port,
+                            class: prio as u8,
+                            pause: true,
+                            storm: false,
+                            depth,
+                            threshold,
+                        });
+                }
                 self.try_transmit(ctx, in_port);
             }
         }
@@ -377,7 +393,7 @@ impl Switch {
         // 6. Enqueue and (maybe) start transmitting.
         self.stats.forwarded += 1;
         ctx.metrics.inc(ctx.metrics.h.forwarded);
-        self.ports[out.0].enqueue(Queued::new(pkt, Some((in_port.0, prio))));
+        self.ports[out.0].enqueue(Queued::new(pkt, Some((in_port.0, prio))).at(now));
         self.try_transmit(ctx, out);
     }
 
@@ -500,8 +516,20 @@ impl Switch {
         if let Some(done) = port.finish_current() {
             let ingress = done.ingress;
             let wire = done.pkt.wire_bytes;
+            let now = ctx.queue.now();
+            if ctx.spans.is_enabled() && done.pkt.is_data() {
+                let ser = att.bandwidth.serialize(done.pkt.wire_bytes);
+                ctx.spans.record_hop(crate::telemetry::spans::HopSpan {
+                    flow: done.pkt.flow,
+                    node: self.id,
+                    port: pid,
+                    enqueued: done.enqueued_at,
+                    start: now - ser,
+                    end: now,
+                });
+            }
             ctx.queue.schedule(
-                ctx.queue.now() + att.delay,
+                now + att.delay,
                 Event::Deliver {
                     node: att.peer,
                     port: att.peer_port,
@@ -560,6 +588,22 @@ impl Switch {
                     kind: TraceKind::ResumeSent,
                     detail: prio as u64,
                 });
+                if ctx.spans.is_enabled() {
+                    let (depth, threshold) = self.buffer.pause_detail(ing_port, prio);
+                    ctx.spans
+                        .record_pause_edge(crate::telemetry::spans::PauseEdge {
+                            at: ctx.queue.now(),
+                            from: self.id,
+                            from_port: PortId(ing_port),
+                            to: att.peer,
+                            to_port: att.peer_port,
+                            class: prio as u8,
+                            pause: false,
+                            storm: false,
+                            depth,
+                            threshold,
+                        });
+                }
                 self.try_transmit(ctx, PortId(ing_port));
             } else {
                 i += 1;

@@ -20,6 +20,10 @@
 //!   reports; no external crates.
 //! * [`profile`] — the event-loop self-profiler behind
 //!   `--features profile`; every call is an inlined no-op without it.
+//! * [`spans`] — span-based causal tracing: per-flow latency
+//!   attribution (the FCT decomposition identity), the
+//!   pause-propagation congestion tree, and a deterministic Chrome
+//!   trace-event exporter. Disabled, it costs one branch per hook.
 //!
 //! The simulator owns one [`Metrics`] per network (see
 //! `Network::telemetry_report`); experiments read it back by handle or
@@ -41,9 +45,14 @@ pub mod json;
 pub mod profile;
 pub mod recorder;
 pub mod registry;
+pub mod spans;
 
 pub use hist::Histogram;
 pub use json::{fmt_f64, Json};
 pub use profile::{ProfMark, Profiler};
 pub use recorder::{FlightDump, FlightRecorder};
 pub use registry::{CounterId, GaugeId, HistId, Metrics, Registry, WellKnown};
+pub use spans::{
+    CongestionTree, FlowSpan, HopSpan, PauseEdge, SpanCompletion, SpanState, Spans, TreeEdge,
+    TreeRoot, TreeVictim, NUM_SPAN_STATES,
+};

@@ -97,8 +97,16 @@ impl Tracer {
     }
 
     /// Enables tracing with space for `capacity` events.
+    ///
+    /// A `capacity` of 0 means "no tracing": the tracer is reset to its
+    /// disabled state. (It used to become an always-empty "enabled"
+    /// ring, which recorded nothing yet still paid the enabled-path cost
+    /// on every record.)
     pub fn enable(&mut self, capacity: usize) {
-        assert!(capacity > 0, "capacity must be nonzero");
+        if capacity == 0 {
+            *self = Tracer::default();
+            return;
+        }
         self.events = Vec::with_capacity(capacity.min(1 << 20));
         self.capacity = capacity;
         self.head = 0;
@@ -205,9 +213,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "nonzero")]
-    fn zero_capacity_rejected() {
-        Tracer::disabled().enable(0);
+    fn zero_capacity_means_disabled() {
+        let mut t = Tracer::disabled();
+        t.enable(0);
+        assert!(!t.is_enabled());
+        t.record(ev(1, TraceKind::Marked));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn enable_zero_after_enable_disables_and_clears() {
+        let mut t = Tracer::disabled();
+        t.enable(4);
+        t.record(ev(1, TraceKind::Marked));
+        assert_eq!(t.len(), 1);
+        t.enable(0);
+        assert!(!t.is_enabled());
+        assert!(t.is_empty());
+        t.record(ev(2, TraceKind::Marked));
+        assert!(t.is_empty(), "a zero-capacity tracer records nothing");
     }
 
     #[test]

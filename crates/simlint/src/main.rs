@@ -22,8 +22,8 @@
 //!   machinery must use `total_cmp` and epsilon tests).
 //! * **hot-unwrap** — no `unwrap()`/`expect()` in the per-event hot path
 //!   (`event.rs`, `host.rs`, `switch.rs`, `port.rs`, and the telemetry
-//!   registry/recorder that sit on it): a malformed packet or
-//!   state-machine corner must degrade (drop, debug_assert) rather
+//!   registry/recorder/span-tracer that sit on it): a malformed packet
+//!   or state-machine corner must degrade (drop, debug_assert) rather
 //!   than abort a multi-minute experiment run.
 //! * **metric-lookup** — no string-keyed metric lookups (`.counter("`,
 //!   `.counter_value(`, …) in the per-event hot path or the dispatch
@@ -68,7 +68,7 @@ const COUNTER_TOKENS: [&str; 8] = [
 /// Files forming the per-event hot path (hot-unwrap rule). The telemetry
 /// registry and flight recorder are on it: every counter bump and trace
 /// record runs per event.
-const HOT_FILES: [&str; 7] = [
+const HOT_FILES: [&str; 8] = [
     "crates/netsim/src/event.rs",
     "crates/netsim/src/host.rs",
     "crates/netsim/src/switch.rs",
@@ -76,17 +76,19 @@ const HOT_FILES: [&str; 7] = [
     "crates/netsim/src/faults.rs",
     "crates/netsim/src/telemetry/registry.rs",
     "crates/netsim/src/telemetry/recorder.rs",
+    "crates/netsim/src/telemetry/spans.rs",
 ];
 
 /// Files where by-name metric lookups are banned (metric-lookup rule):
 /// the hot path plus the dispatch loop in `network.rs`.
-const METRIC_LOOKUP_FILES: [&str; 6] = [
+const METRIC_LOOKUP_FILES: [&str; 7] = [
     "crates/netsim/src/event.rs",
     "crates/netsim/src/host.rs",
     "crates/netsim/src/switch.rs",
     "crates/netsim/src/port.rs",
     "crates/netsim/src/faults.rs",
     "crates/netsim/src/network.rs",
+    "crates/netsim/src/telemetry/spans.rs",
 ];
 
 /// String-keyed registry calls: registration forms (a string literal as
@@ -823,6 +825,23 @@ mod tests {
         assert_eq!(
             run("crates/netsim/src/telemetry/registry.rs", bad),
             vec!["hot-unwrap"]
+        );
+    }
+
+    #[test]
+    fn span_tracer_is_on_the_hot_path() {
+        // `Spans::set_state` runs once per flow per host event; unwraps
+        // and string-keyed metric lookups are banned there like in the
+        // rest of the per-event path.
+        let bad = "let t = self.tracks.get_mut(&flow).unwrap();\n";
+        assert_eq!(
+            run("crates/netsim/src/telemetry/spans.rs", bad),
+            vec!["hot-unwrap"]
+        );
+        let lookup = "let v = reg.counter_value(name);\n";
+        assert_eq!(
+            run("crates/netsim/src/telemetry/spans.rs", lookup),
+            vec!["metric-lookup"]
         );
     }
 
