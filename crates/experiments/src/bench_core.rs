@@ -1,0 +1,312 @@
+//! `repro bench-core` — the event-core performance trajectory.
+//!
+//! Times three fixed workloads and writes one `BENCH_<label>.json`
+//! snapshot so successive PRs accumulate a comparable speed history:
+//!
+//! * `queue_churn` — the bare [`EventQueue`] under a schedule/pop mix
+//!   that exercises the near cohort, the bucket wheel, and the overflow
+//!   heap (no network on top). Pure scheduler throughput.
+//! * `fig3_class` — one serial seed of the Figure 3 unfairness incast.
+//! * `fig4_class` — one serial seed of the Figure 4 victim-flow run
+//!   (the heaviest per-seed workload in the harness).
+//!
+//! Every simulation-side field (`events_executed`, `sim_time_us`, the
+//! goodput `checksum`) is deterministic — byte-equal across runs and
+//! machines — so two snapshots whose checksums match timed *the same
+//! work* and their wall-clock fields (`wall_ms`, `events_per_sec`) are
+//! directly comparable. `peak_pending_events` and `allocations` are
+//! tracked only under `--features profile` and reported as 0 otherwise
+//! (counting them costs a little speed, so the default build omits the
+//! bookkeeping rather than skew the numbers it exists to measure).
+
+use crate::common::CcChoice;
+use crate::scenarios::{unfairness_scenario, victim_scenario};
+use netsim::event::{Event, EventQueue};
+use netsim::telemetry::Json;
+use netsim::units::{Duration, Time};
+use std::time::Instant;
+
+/// Allocation counter, live only under `--features profile`: a
+/// forwarding global allocator that counts `alloc` calls (a `realloc`
+/// that moves counts once, via the default forwarding impl).
+#[cfg(feature = "profile")]
+mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    struct CountingAlloc;
+
+    // SAFETY: pure pass-through to `System`; the counter has no effect
+    // on the returned memory.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+    }
+
+    #[global_allocator]
+    static COUNTER: CountingAlloc = CountingAlloc;
+
+    /// Allocations made by this process so far.
+    pub fn count() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
+/// Allocations made by this process so far (0 without `profile`).
+fn allocations() -> u64 {
+    #[cfg(feature = "profile")]
+    {
+        alloc_count::count()
+    }
+    #[cfg(not(feature = "profile"))]
+    {
+        0
+    }
+}
+
+/// One timed workload, with the deterministic fields that prove two
+/// snapshots measured identical work.
+struct Sample {
+    name: &'static str,
+    /// Events executed — deterministic.
+    events: u64,
+    /// Final simulation time in µs — deterministic.
+    sim_us: f64,
+    /// Workload-specific output digest (goodput sum / clock) —
+    /// deterministic; compare across snapshots before trusting wall
+    /// numbers.
+    checksum: f64,
+    /// Wall-clock of the run — machine-dependent.
+    wall: std::time::Duration,
+    /// Pending-event high-water mark (`profile` builds; 0 otherwise).
+    peak_pending: usize,
+    /// Allocations during the run (`profile` builds; 0 otherwise).
+    allocs: u64,
+}
+
+impl Sample {
+    fn to_json(&self) -> Json {
+        let wall_s = self.wall.as_secs_f64();
+        let rate = if wall_s > 0.0 {
+            (self.events as f64 / wall_s) as u64
+        } else {
+            0
+        };
+        Json::obj(vec![
+            ("name", Json::from(self.name)),
+            ("events_executed", Json::UInt(self.events)),
+            ("sim_time_us", Json::from(self.sim_us)),
+            ("checksum", Json::from(self.checksum)),
+            ("wall_ms", Json::from(wall_s * 1e3)),
+            ("events_per_sec", Json::UInt(rate)),
+            ("peak_pending_events", Json::from(self.peak_pending)),
+            ("allocations", Json::UInt(self.allocs)),
+        ])
+    }
+
+    fn print(&self) {
+        let wall_s = self.wall.as_secs_f64();
+        println!(
+            "  {:<11} {:>12} events  {:>9.1} ms  {:>5.1} Mev/s",
+            self.name,
+            self.events,
+            wall_s * 1e3,
+            self.events as f64 / wall_s.max(1e-9) / 1e6,
+        );
+    }
+}
+
+/// Bare-queue churn: keep a standing population of pending events and
+/// stream `n` more through it. Offsets are drawn from a fixed LCG and
+/// mixed so ~1/16 land past the wheel horizon (overflow path), the rest
+/// across the near cohort and the bucket wheel. Deterministic by
+/// construction: the checksum is the final clock.
+fn queue_churn(n: u64) -> Sample {
+    const STANDING: u64 = 8192;
+    let a0 = allocations();
+    let t0 = Instant::now();
+    let mut q = EventQueue::new();
+    let mut r: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut lcg = move || {
+        r = r
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        r >> 33
+    };
+    let mut popped: u64 = 0;
+    for i in 0..(n + STANDING) {
+        let draw = lcg();
+        let offset = if draw % 16 == 0 {
+            // Past the wheel horizon: exercises the overflow heap and
+            // its migration back into the wheel as the clock advances.
+            1_000_000_000 + draw % 1_000_000
+        } else {
+            draw % 2_000_000
+        };
+        q.schedule(q.now() + Duration(offset), Event::Hook { id: i as usize });
+        if i >= STANDING {
+            q.pop();
+            popped += 1;
+        }
+    }
+    while q.pop().is_some() {
+        popped += 1;
+    }
+    Sample {
+        name: "queue_churn",
+        events: popped,
+        sim_us: q.now().as_micros_f64(),
+        checksum: q.now().as_micros_f64(),
+        wall: t0.elapsed(),
+        peak_pending: q.peak_pending(),
+        allocs: allocations() - a0,
+    }
+}
+
+/// One serial Figure-3-class unfairness run (no CC, seed 1).
+fn fig3_class(duration: Duration) -> Sample {
+    let warmup = Duration(duration.0 / 5);
+    let a0 = allocations();
+    let t0 = Instant::now();
+    let (tb, flows) = unfairness_scenario(CcChoice::None, 1, duration);
+    let wall = t0.elapsed();
+    let end = Time::ZERO + duration;
+    let checksum: f64 = flows
+        .iter()
+        .map(|&fl| tb.net.goodput_gbps(fl, Time::ZERO + warmup, end))
+        .sum();
+    Sample {
+        name: "fig3_class",
+        events: tb.net.events_executed(),
+        sim_us: tb.net.now().as_micros_f64(),
+        checksum,
+        wall,
+        peak_pending: tb.net.peak_pending_events(),
+        allocs: allocations() - a0,
+    }
+}
+
+/// One serial Figure-4-class victim run (no CC, 2 senders under T3,
+/// seed 1) — the heaviest per-seed workload in the harness.
+fn fig4_class(duration: Duration) -> Sample {
+    let warmup = Duration(duration.0 / 5);
+    let a0 = allocations();
+    let t0 = Instant::now();
+    let (tb, victim) = victim_scenario(CcChoice::None, 2, 1, duration);
+    let wall = t0.elapsed();
+    let end = Time::ZERO + duration;
+    let checksum = tb.net.goodput_gbps(victim, Time::ZERO + warmup, end);
+    Sample {
+        name: "fig4_class",
+        events: tb.net.events_executed(),
+        sim_us: tb.net.now().as_micros_f64(),
+        checksum,
+        wall,
+        peak_pending: tb.net.peak_pending_events(),
+        allocs: allocations() - a0,
+    }
+}
+
+/// Runs the trajectory and writes `BENCH_<label>.json` to the current
+/// directory. Quick mode shrinks every workload for CI smoke runs; its
+/// numbers are comparable only to other quick snapshots.
+pub fn run(quick: bool, label: &str) {
+    println!("== bench-core: event-core trajectory ({label}) ==");
+    let samples = [
+        queue_churn(if quick { 2_000_000 } else { 20_000_000 }),
+        fig3_class(Duration::from_millis(if quick { 20 } else { 250 })),
+        fig4_class(Duration::from_millis(if quick { 20 } else { 250 })),
+    ];
+    for s in &samples {
+        s.print();
+    }
+    let report = Json::obj(vec![
+        ("schema", Json::from("bench-core-v1")),
+        ("label", Json::from(label)),
+        ("quick", Json::from(quick)),
+        ("profile", Json::from(cfg!(feature = "profile"))),
+        (
+            "scenarios",
+            Json::Arr(samples.iter().map(Sample::to_json).collect()),
+        ),
+    ]);
+    let path = format!("BENCH_{label}.json");
+    match std::fs::write(&path, report.render() + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// True when `label` is safe to splice into a filename.
+pub fn label_ok(label: &str) -> bool {
+    !label.is_empty()
+        && label
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_churn_is_deterministic() {
+        let a = queue_churn(100_000);
+        let b = queue_churn(100_000);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.checksum, b.checksum);
+        assert!(a.events >= 100_000);
+    }
+
+    #[test]
+    fn scenario_samples_are_deterministic_and_reach_the_horizon() {
+        let d = Duration::from_millis(2);
+        let a = fig3_class(d);
+        let b = fig3_class(d);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.checksum, b.checksum);
+        // The run_until clock fix: the sample's sim time is the horizon
+        // itself, not wherever the last event happened to fall.
+        assert_eq!(a.sim_us, d.as_secs_f64() * 1e6);
+        let v = fig4_class(d);
+        assert_eq!(v.sim_us, d.as_secs_f64() * 1e6);
+        assert!(v.events > a.events / 2, "victim run is a real workload");
+    }
+
+    #[test]
+    fn labels_are_vetted() {
+        assert!(label_ok("pr6"));
+        assert!(label_ok("2026-08-07_local"));
+        assert!(!label_ok(""));
+        assert!(!label_ok("../escape"));
+        assert!(!label_ok("a b"));
+    }
+
+    #[test]
+    fn sample_json_has_the_documented_fields() {
+        let s = queue_churn(10_000);
+        let rendered = s.to_json().render();
+        for key in [
+            "name",
+            "events_executed",
+            "sim_time_us",
+            "checksum",
+            "wall_ms",
+            "events_per_sec",
+            "peak_pending_events",
+            "allocations",
+        ] {
+            assert!(rendered.contains(key), "missing {key} in {rendered}");
+        }
+    }
+}

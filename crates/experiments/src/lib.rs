@@ -10,6 +10,7 @@
 //! cargo run -p experiments --release -- all [--quick]
 //! ```
 
+pub mod bench_core;
 pub mod common;
 pub mod ext_attribution;
 pub mod ext_faults;

@@ -4,6 +4,7 @@
 //! repro <id>... [--quick] [--json <dir>] [--trace <dir>]
 //! repro all [--quick]                    run every experiment
 //! repro list                             list experiment ids
+//! repro bench-core [--quick] [--label <name>]   event-core speed snapshot
 //! ```
 //!
 //! Several positional ids run in order: `repro fig3 fig4 fig9`. Unknown
@@ -22,6 +23,7 @@ use std::time::Instant;
 
 fn usage() {
     eprintln!("usage: repro <id>...|all|list [--quick] [--json <dir>] [--trace <dir>]");
+    eprintln!("       repro bench-core [--quick] [--label <name>]");
     eprintln!("ids: {}", experiments::ALL.join(" "));
     eprintln!("ext: ext {}", experiments::EXT.join(" "));
 }
@@ -32,10 +34,22 @@ fn main() {
     let mut ids: Vec<&str> = Vec::new();
     let mut json_dir: Option<&str> = None;
     let mut trace_dir: Option<&str> = None;
+    let mut label: Option<&str> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--label" => match it.next() {
+                Some(l) if experiments::bench_core::label_ok(l) => label = Some(l.as_str()),
+                Some(l) => {
+                    eprintln!("--label '{l}' must be [A-Za-z0-9._-]+ (it names a file)");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("--label requires a name");
+                    std::process::exit(2);
+                }
+            },
             "--json" => match it.next() {
                 Some(d) => json_dir = Some(d.as_str()),
                 None => {
@@ -74,6 +88,7 @@ fn main() {
     for id in &ids {
         let known = *id == "all"
             || *id == "ext"
+            || *id == "bench-core"
             || experiments::ALL.contains(id)
             || experiments::EXT.contains(id);
         if !known {
@@ -105,6 +120,13 @@ fn main() {
                     let t = Instant::now();
                     experiments::dispatch(id, quick);
                     eprintln!("[{id} took {:.1}s]", t.elapsed().as_secs_f64());
+                }
+            }
+            "bench-core" => {
+                let t = Instant::now();
+                experiments::bench_core::run(quick, label.unwrap_or("local"));
+                if many {
+                    eprintln!("[bench-core took {:.1}s]", t.elapsed().as_secs_f64());
                 }
             }
             id => {

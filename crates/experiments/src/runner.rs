@@ -24,18 +24,40 @@ use std::sync::Mutex;
 
 /// How many worker threads [`par_map`] uses for `runs` independent runs.
 ///
-/// `REPRO_THREADS` (≥ 1) overrides the detected core count.
+/// `REPRO_THREADS` (≥ 1) overrides the detected core count. An invalid
+/// value (`0`, empty, or unparseable) aborts the process with a clear
+/// error instead of silently falling back to all cores: someone setting
+/// `REPRO_THREADS=0` while chasing a determinism bug means "serial", and
+/// granting them 32 threads instead is the worst possible surprise.
 pub fn thread_count(runs: usize) -> usize {
-    let cores = std::env::var("REPRO_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        });
+    let cores = match parse_repro_threads(std::env::var("REPRO_THREADS").ok().as_deref()) {
+        Ok(Some(n)) => n,
+        Ok(None) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
     cores.min(runs.max(1))
+}
+
+/// Parses a `REPRO_THREADS` value: `None` when unset (use detected
+/// cores), `Some(n)` for a valid override, `Err` for anything else.
+fn parse_repro_threads(var: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = var else {
+        return Ok(None);
+    };
+    match raw.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(Some(n)),
+        Ok(_) => Err(format!(
+            "REPRO_THREADS={raw}: thread count must be >= 1 (use 1 for a serial run)"
+        )),
+        Err(_) => Err(format!(
+            "REPRO_THREADS={raw:?}: expected a positive integer thread count"
+        )),
+    }
 }
 
 /// Runs `f` over every item, in parallel, returning results in item order.
@@ -125,5 +147,22 @@ mod tests {
         assert_eq!(thread_count(1), 1);
         assert!(thread_count(1000) >= 1);
         assert!(thread_count(2) <= 2);
+    }
+
+    #[test]
+    fn valid_repro_threads_values_parse() {
+        assert_eq!(parse_repro_threads(None), Ok(None));
+        assert_eq!(parse_repro_threads(Some("1")), Ok(Some(1)));
+        assert_eq!(parse_repro_threads(Some("8")), Ok(Some(8)));
+    }
+
+    #[test]
+    fn invalid_repro_threads_values_are_rejected() {
+        // Regression: these used to silently fall back to all cores —
+        // `REPRO_THREADS=0` during a determinism hunt ran 32-wide.
+        for bad in ["0", "", "all", "-1", "1.5"] {
+            let err = parse_repro_threads(Some(bad)).expect_err(bad);
+            assert!(err.contains("REPRO_THREADS"), "error names the var: {err}");
+        }
     }
 }

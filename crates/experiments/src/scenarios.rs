@@ -47,6 +47,24 @@ pub fn unfairness_run_full(
     duration: Duration,
     warmup: Duration,
 ) -> (Vec<f64>, Json) {
+    let (tb, flows) = unfairness_scenario(cc, seed, duration);
+    let end = Time::ZERO + duration;
+    let goodputs = flows
+        .iter()
+        .map(|&fl| tb.net.goodput_gbps(fl, Time::ZERO + warmup, end))
+        .collect();
+    (goodputs, tb.net.telemetry_report())
+}
+
+/// Builds and runs one unfairness scenario to `duration`, returning the
+/// finished testbed (for event-count/goodput inspection — `bench-core`
+/// reads its trajectory metrics off it) and the four flows in H1–H4
+/// order.
+pub fn unfairness_scenario(
+    cc: CcChoice,
+    seed: u64,
+    duration: Duration,
+) -> (ClosTestbed, Vec<FlowId>) {
     let mut tb = testbed(cc, true, false, 5, seed);
     let senders = [
         tb.hosts[0][0],
@@ -70,13 +88,8 @@ pub fn unfairness_run_full(
             ..SamplerConfig::default()
         },
     );
-    let end = Time::ZERO + duration;
-    tb.net.run_until(end);
-    let goodputs = flows
-        .iter()
-        .map(|&fl| tb.net.goodput_gbps(fl, Time::ZERO + warmup, end))
-        .collect();
-    (goodputs, tb.net.telemetry_report())
+    tb.net.run_until(Time::ZERO + duration);
+    (tb, flows)
 }
 
 /// The Figure 4/9 victim-flow scenario: H11–H14 (under T1) plus
@@ -101,6 +114,21 @@ pub fn victim_run_full(
     duration: Duration,
     warmup: Duration,
 ) -> (f64, Json) {
+    let (tb, victim) = victim_scenario(cc, t3_senders, seed, duration);
+    let end = Time::ZERO + duration;
+    let goodput = tb.net.goodput_gbps(victim, Time::ZERO + warmup, end);
+    (goodput, tb.net.telemetry_report())
+}
+
+/// Builds and runs one victim-flow scenario to `duration`, returning the
+/// finished testbed and the victim flow. Shared by [`victim_run_full`]
+/// and `bench-core`.
+pub fn victim_scenario(
+    cc: CcChoice,
+    t3_senders: usize,
+    seed: u64,
+    duration: Duration,
+) -> (ClosTestbed, FlowId) {
     let mut tb = testbed(cc, true, false, 5, seed);
     let receiver = tb.hosts[3][0];
     let vs = tb.hosts[0][4];
@@ -125,10 +153,8 @@ pub fn victim_run_full(
             ..SamplerConfig::default()
         },
     );
-    let end = Time::ZERO + duration;
-    tb.net.run_until(end);
-    let goodput = tb.net.goodput_gbps(victim, Time::ZERO + warmup, end);
-    (goodput, tb.net.telemetry_report())
+    tb.net.run_until(Time::ZERO + duration);
+    (tb, victim)
 }
 
 /// Result of an [`attribution_run`]: the Figure 4 victim's causally

@@ -904,12 +904,13 @@ impl Host {
                     end: now,
                 });
             }
+            let pkt = ctx.pool.insert(done.pkt);
             ctx.queue.schedule(
                 now + att.delay,
                 Event::Deliver {
                     node: att.peer,
                     port: att.peer_port,
-                    pkt: done.pkt,
+                    pkt,
                 },
             );
         }
@@ -945,7 +946,10 @@ impl Host {
                 if self.port.rx_paused[f.priority as usize] {
                     (SpanState::PauseBlocked, 0, pause_origin)
                 } else if !f.window_permits() || f.next_eligible > now {
-                    let cnps = ctx.flow_stats.get(&f.id).map_or(0, |s| s.cnps_received);
+                    let cnps = ctx
+                        .flow_stats
+                        .get(f.id.0 as usize)
+                        .map_or(0, |s| s.cnps_received);
                     (SpanState::Throttled, cnps, None)
                 } else {
                     (SpanState::Queued, 0, None)

@@ -56,6 +56,7 @@ pub mod packet;
 pub mod port;
 pub mod rng;
 pub mod routing;
+pub mod slab;
 pub mod stats;
 pub mod switch;
 pub mod telemetry;

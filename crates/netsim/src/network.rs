@@ -11,6 +11,7 @@ use crate::packet::{FlowId, Packet, Priority};
 use crate::port::Attachment;
 use crate::rng::SplitMix64;
 use crate::routing::{compute_routes_masked, Edge};
+use crate::slab::PacketPool;
 use crate::stats::{FlowStats, SampledSeries, SamplerConfig, SwitchStats};
 use crate::switch::{Switch, SwitchConfig};
 use crate::telemetry::profile::Profiler;
@@ -43,8 +44,9 @@ pub struct Ctx {
     pub rng: SplitMix64,
     /// Per-run ECMP hash salt.
     pub ecmp_salt: u64,
-    /// Per-flow counters.
-    pub flow_stats: HashMap<FlowId, FlowStats>,
+    /// Per-flow counters, indexed by flow id (ids are handed out
+    /// sequentially from 0, so a flat Vec beats hashing on every packet).
+    pub flow_stats: Vec<FlowStats>,
     /// Packet-level event tracer (disabled unless enabled on the network).
     pub tracer: Tracer,
     /// Runtime invariant auditor (active only with the `sanitize`
@@ -59,12 +61,19 @@ pub struct Ctx {
     /// Span-based causal tracer (disabled unless enabled on the network;
     /// every hook is one branch when off).
     pub spans: Spans,
+    /// Slab of in-flight packets: `Event::Deliver` carries a handle into
+    /// this pool, recycled when the event dispatches.
+    pub pool: PacketPool,
 }
 
 impl Ctx {
     /// Mutable access to a flow's counters (created on first touch).
     pub fn stats(&mut self, id: FlowId) -> &mut FlowStats {
-        self.flow_stats.entry(id).or_default()
+        let i = id.0 as usize;
+        if i >= self.flow_stats.len() {
+            self.flow_stats.resize_with(i + 1, FlowStats::default);
+        }
+        &mut self.flow_stats[i]
     }
 
     /// Records a trace event to both the packet tracer and the flight
@@ -229,12 +238,13 @@ impl NetworkBuilder {
                 queue: EventQueue::new(),
                 rng,
                 ecmp_salt,
-                flow_stats: HashMap::new(),
+                flow_stats: Vec::new(),
                 tracer: Tracer::disabled(),
                 audit: Auditor::default(),
                 metrics: Metrics::standard(),
                 flight,
                 spans: Spans::disabled(),
+                pool: PacketPool::new(),
             },
             edges,
             dests,
@@ -248,6 +258,7 @@ impl NetworkBuilder {
             hooks: Vec::new(),
             profiler: Profiler::new(),
             dumped_violations: 0,
+            batch: Vec::new(),
         }
     }
 }
@@ -281,6 +292,9 @@ pub struct Network {
     /// How many recorded auditor violations have already triggered a
     /// flight-recorder dump (cursor into `audit.violations()`).
     dumped_violations: usize,
+    /// Reusable buffer for same-timestamp event cohorts (see `run_until`);
+    /// held on the network so the allocation survives across calls.
+    batch: Vec<Event>,
 }
 
 impl Network {
@@ -348,7 +362,7 @@ impl Network {
             .add_flow(id, dst, priority, make_cc(line));
         self.flow_locator.insert(id, (src, idx));
         self.flow_order.push(id);
-        self.ctx.flow_stats.insert(id, FlowStats::default());
+        self.ctx.stats(id); // materialize the flow's counters
         id
     }
 
@@ -368,7 +382,7 @@ impl Network {
 
     /// A flow's counters.
     pub fn flow_stats(&self, flow: FlowId) -> &FlowStats {
-        &self.ctx.flow_stats[&flow]
+        &self.ctx.flow_stats[flow.0 as usize]
     }
 
     /// A flow's current CC rate.
@@ -392,7 +406,7 @@ impl Network {
             let bytes = at(to) - at(from);
             return bytes * 8.0 / (to - from).as_secs_f64() / 1e9;
         }
-        let st = &self.ctx.flow_stats[&flow];
+        let st = &self.ctx.flow_stats[flow.0 as usize];
         st.delivered_bytes as f64 * 8.0 / (to - from).as_secs_f64() / 1e9
     }
 
@@ -601,31 +615,44 @@ impl Network {
 
     /// Runs the simulation until (and including) events at `until`.
     pub fn run_until(&mut self, until: Time) {
-        while let Some(t) = self.ctx.queue.peek_time() {
-            if t > until {
-                break;
-            }
-            let (_, event) = self.ctx.queue.pop().expect("peeked");
-            self.ctx.audit.on_event(t);
-            let kind = if Profiler::enabled() {
-                event.kind_index()
-            } else {
-                0
-            };
-            // `mark` is `()` without the profile feature.
-            #[allow(clippy::let_unit_value)]
-            let mark = self.profiler.mark();
-            self.dispatch(event);
-            self.profiler.on_event(kind, mark);
-            if self.ctx.audit.buffer_check_due() {
-                self.audit_buffers_now();
-            }
-            // Dead branch without the sanitize feature (`violations()`
-            // is a constant empty slice).
-            if self.ctx.audit.violations().len() != self.dumped_violations {
-                self.flight_dump_new_violations();
+        // Events sharing a timestamp are drained from the queue as one
+        // cohort and dispatched back-to-back, skipping the scheduler's
+        // bucket/heap machinery between them. Order is unchanged: anything
+        // a dispatch schedules at the same timestamp gets a higher seq
+        // than the whole drained cohort and forms the *next* cohort.
+        // The buffer is taken out of `self` so `dispatch` (which may run
+        // arbitrary hooks) can borrow the network freely.
+        let mut batch = std::mem::take(&mut self.batch);
+        while let Some(t) = self.ctx.queue.pop_batch(until, &mut batch) {
+            for event in batch.drain(..) {
+                self.ctx.audit.on_event(t);
+                let kind = if Profiler::enabled() {
+                    event.kind_index()
+                } else {
+                    0
+                };
+                // `mark` is `()` without the profile feature.
+                #[allow(clippy::let_unit_value)]
+                let mark = self.profiler.mark();
+                self.dispatch(event);
+                self.profiler.on_event(kind, mark);
+                if self.ctx.audit.buffer_check_due() {
+                    self.audit_buffers_now();
+                }
+                // Dead branch without the sanitize feature (`violations()`
+                // is a constant empty slice).
+                if self.ctx.audit.violations().len() != self.dumped_violations {
+                    self.flight_dump_new_violations();
+                }
             }
         }
+        self.batch = batch;
+        // The loop leaves the clock at the last *popped* event, which may
+        // fall well short of `until` (or never move at all in an idle
+        // window). Land on the horizon itself so spans, telemetry
+        // timestamps, and back-to-back `run_until` calls all measure the
+        // window the caller asked for.
+        self.ctx.queue.advance_clock(until);
     }
 
     /// Snapshots the flight recorder for every newly recorded auditor
@@ -674,6 +701,12 @@ impl Network {
     /// Total events executed so far.
     pub fn events_executed(&self) -> u64 {
         self.ctx.queue.events_executed()
+    }
+
+    /// High-water mark of pending events, tracked under
+    /// `--features profile` (0 otherwise).
+    pub fn peak_pending_events(&self) -> usize {
+        self.ctx.queue.peak_pending()
     }
 
     /// Enables the per-node flight recorder with `capacity` events per
@@ -744,7 +777,7 @@ impl Network {
             self.flow_order
                 .iter()
                 .map(|&id| {
-                    let st = &self.ctx.flow_stats[&id];
+                    let st = &self.ctx.flow_stats[id.0 as usize];
                     let goodput = if secs > 0.0 {
                         st.delivered_bytes as f64 * 8.0 / secs / 1e9
                     } else {
@@ -805,6 +838,9 @@ impl Network {
                 let Network {
                     nodes, ctx, faults, ..
                 } = self;
+                // Reclaim the pooled slot first: dropped-by-fault packets
+                // must recycle too, or the slab would leak per drop.
+                let pkt = ctx.pool.take(pkt);
                 // One dead branch when no faults are injected: with the
                 // engine inactive this path is byte-identical to a
                 // fault-free build.
@@ -909,7 +945,7 @@ impl Network {
             let bytes = self
                 .ctx
                 .flow_stats
-                .get(&id)
+                .get(id.0 as usize)
                 .map_or(0, |s| s.delivered_bytes);
             self.samples
                 .flow_bytes
@@ -979,6 +1015,28 @@ mod tests {
         let sent_100us = net.flow_stats(f).sent_pkts;
         net.run_until(Time::from_micros(200));
         assert!(net.flow_stats(f).sent_pkts > sent_100us, "resumable");
+    }
+
+    /// Regression: `run_until` used to leave `now()` at the last popped
+    /// event, so an idle window (or the gap after the final event) was
+    /// invisible to spans and telemetry, and repeated calls compounded
+    /// the shortfall.
+    #[test]
+    fn run_until_advances_the_clock_to_the_horizon() {
+        let (mut net, h1, h2) = tiny();
+        let f = net.add_flow(h1, h2, DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+        // A short message drains long before 1 ms.
+        net.send_message(f, 3000, Time::ZERO);
+        net.run_until(Time::from_millis(1));
+        assert_eq!(net.now(), Time::from_millis(1));
+        // A completely idle window must still advance the clock.
+        net.run_until(Time::from_millis(2));
+        assert_eq!(net.now(), Time::from_millis(2));
+        // And events scheduled after idle windows still run in order.
+        net.send_message(f, 3000, net.now());
+        net.run_until(Time::from_millis(3));
+        assert_eq!(net.now(), Time::from_millis(3));
+        assert_eq!(net.flow_stats(f).completions.len(), 2);
     }
 
     #[test]

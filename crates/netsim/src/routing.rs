@@ -8,13 +8,64 @@
 //! (standing in for the 5-tuple) with a per-run salt.
 
 use crate::event::{NodeId, PortId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// An undirected edge: (node a, port on a, node b, port on b).
 pub type Edge = (NodeId, PortId, NodeId, PortId);
 
 /// Per-node routing table: destination node → equal-cost egress ports.
-pub type RouteTable = HashMap<NodeId, Vec<PortId>>;
+///
+/// Stored flat, indexed by the (dense) destination node id: the lookup on
+/// every switch hop is one bounds-checked array read instead of a hash.
+/// An empty port list means "no route" — `get` treats both out-of-range
+/// and empty as unroutable.
+#[derive(Debug, Clone, Default)]
+pub struct RouteTable {
+    ports: Vec<Vec<PortId>>,
+}
+
+impl RouteTable {
+    /// An empty table (everything unroutable).
+    pub fn new() -> RouteTable {
+        RouteTable::default()
+    }
+
+    /// Sets the equal-cost egress port set toward `dst`.
+    pub fn insert(&mut self, dst: NodeId, ports: Vec<PortId>) {
+        if dst.0 >= self.ports.len() {
+            self.ports.resize_with(dst.0 + 1, Vec::new);
+        }
+        self.ports[dst.0] = ports;
+    }
+
+    /// The egress port set toward `dst`, or `None` when unroutable.
+    #[inline]
+    pub fn get(&self, dst: &NodeId) -> Option<&Vec<PortId>> {
+        self.ports.get(dst.0).filter(|p| !p.is_empty())
+    }
+
+    /// Is `dst` routable from here?
+    pub fn contains_key(&self, dst: &NodeId) -> bool {
+        self.get(dst).is_some()
+    }
+
+    /// Number of routable destinations.
+    pub fn len(&self) -> usize {
+        self.ports.iter().filter(|p| !p.is_empty()).count()
+    }
+
+    /// True when no destination is routable.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::ops::Index<&NodeId> for RouteTable {
+    type Output = Vec<PortId>;
+    fn index(&self, dst: &NodeId) -> &Vec<PortId> {
+        self.get(dst).expect("no route to destination")
+    }
+}
 
 /// Computes, for every node, the set of equal-cost shortest-path egress
 /// ports toward each destination in `dests`.
@@ -48,7 +99,7 @@ pub fn compute_routes_masked(
         adj.sort_by_key(|&(n, p)| (n.0, p.0));
     }
 
-    let mut tables: Vec<RouteTable> = vec![HashMap::new(); num_nodes];
+    let mut tables: Vec<RouteTable> = vec![RouteTable::new(); num_nodes];
     for &dst in dests {
         // BFS from dst; dist[u] = hops from u to dst.
         let mut dist = vec![usize::MAX; num_nodes];

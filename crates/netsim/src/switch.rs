@@ -528,12 +528,13 @@ impl Switch {
                     end: now,
                 });
             }
+            let pkt = ctx.pool.insert(done.pkt);
             ctx.queue.schedule(
                 now + att.delay,
                 Event::Deliver {
                     node: att.peer,
                     port: att.peer_port,
-                    pkt: done.pkt,
+                    pkt,
                 },
             );
             if let Some((ing_port, prio)) = ingress {

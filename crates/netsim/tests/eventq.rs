@@ -1,0 +1,141 @@
+//! Differential test for the calendar-queue event core: random
+//! interleavings of `schedule`/`pop`/`pop_batch` against a plain
+//! binary-heap reference model, checking the exact `(time, seq)` pop
+//! order contract the simulator's determinism rests on.
+
+use netsim::event::{Event, EventQueue};
+use netsim::units::Time;
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The reference model: the old implementation, minus the payload. Pops
+/// strictly by `(time, insertion seq)`.
+#[derive(Default)]
+struct HeapModel {
+    heap: BinaryHeap<Reverse<(Time, u64)>>,
+    seq: u64,
+    now: Time,
+}
+
+impl HeapModel {
+    fn schedule(&mut self, at: Time) -> u64 {
+        assert!(at >= self.now);
+        let s = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((at, s)));
+        s
+    }
+    fn pop(&mut self) -> Option<(Time, u64)> {
+        let Reverse((at, s)) = self.heap.pop()?;
+        self.now = at;
+        Some((at, s))
+    }
+}
+
+/// Interprets one generated op against both queues. `Hook { id }` carries
+/// the model's seq number through the real queue so pops can be compared
+/// exactly.
+fn apply_schedule(q: &mut EventQueue, m: &mut HeapModel, at: Time) {
+    let id = m.schedule(at);
+    q.schedule(at, Event::Hook { id: id as usize });
+}
+
+fn check_pop(q: &mut EventQueue, m: &mut HeapModel) {
+    let got = q.pop().map(|(t, e)| match e {
+        Event::Hook { id } => (t, id as u64),
+        _ => unreachable!(),
+    });
+    assert_eq!(got, m.pop(), "pop order must match the heap model");
+    if got.is_some() {
+        assert_eq!(q.now(), m.now);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    /// Random schedule/pop interleavings — same-timestamp bursts,
+    /// schedule-at-now, and far-future overflow times — pop identically
+    /// to the reference heap.
+    #[test]
+    fn calendar_queue_matches_heap_model(
+        ops in prop::collection::vec((0u8..6, 0u64..4_000_000), 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        let mut m = HeapModel::default();
+        for &(op, dt) in &ops {
+            let now = q.now();
+            match op {
+                // Near/wheel range: within a few µs of now.
+                0 | 1 => apply_schedule(&mut q, &mut m, now + netsim::units::Duration(dt)),
+                // Same-timestamp burst: three events, one instant.
+                2 => {
+                    let at = now + netsim::units::Duration(dt);
+                    for _ in 0..3 {
+                        apply_schedule(&mut q, &mut m, at);
+                    }
+                }
+                // Far future: past the wheel horizon (overflow bucket).
+                3 => apply_schedule(
+                    &mut q,
+                    &mut m,
+                    now + netsim::units::Duration(3_000_000_000 + dt * 1000),
+                ),
+                // Exactly now (allowed; must sort after everything
+                // already popped, in seq order).
+                4 => apply_schedule(&mut q, &mut m, now),
+                _ => check_pop(&mut q, &mut m),
+            }
+        }
+        // Drain both to the end: every remaining event pops identically.
+        loop {
+            let empty = q.is_empty();
+            prop_assert_eq!(empty, m.heap.is_empty());
+            check_pop(&mut q, &mut m);
+            if empty {
+                break;
+            }
+        }
+    }
+
+    /// `pop_batch` pops exactly the cohort repeated `pop` would, in the
+    /// same order, and respects the `until` bound.
+    #[test]
+    fn pop_batch_matches_repeated_pop(
+        ops in prop::collection::vec((0u8..4, 0u64..2_000_000), 1..100),
+        until_us in 0u64..5000,
+    ) {
+        let mut q = EventQueue::new();
+        let mut m = HeapModel::default();
+        for &(op, dt) in &ops {
+            let now = q.now();
+            let at = match op {
+                0 => now + netsim::units::Duration(dt),
+                1 => now + netsim::units::Duration(dt / 1000), // dense ties
+                2 => now + netsim::units::Duration(3_000_000_000 + dt), // overflow
+                _ => now,
+            };
+            apply_schedule(&mut q, &mut m, at);
+        }
+        let until = Time::from_micros(until_us);
+        let mut batch = Vec::new();
+        while let Some(t) = q.pop_batch(until, &mut batch) {
+            prop_assert!(t <= until);
+            prop_assert_eq!(q.now(), t);
+            prop_assert!(!batch.is_empty());
+            for e in batch.drain(..) {
+                let id = match e {
+                    Event::Hook { id } => id as u64,
+                    _ => unreachable!(),
+                };
+                prop_assert_eq!(m.pop(), Some((t, id)));
+            }
+        }
+        // Whatever the batch loop left behind is strictly past `until`.
+        while let Some((t, _)) = m.pop() {
+            prop_assert!(t > until);
+            q.pop().expect("real queue holds the tail too");
+        }
+        prop_assert!(q.is_empty());
+    }
+}

@@ -68,8 +68,9 @@ const COUNTER_TOKENS: [&str; 8] = [
 /// Files forming the per-event hot path (hot-unwrap rule). The telemetry
 /// registry and flight recorder are on it: every counter bump and trace
 /// record runs per event.
-const HOT_FILES: [&str; 8] = [
+const HOT_FILES: [&str; 9] = [
     "crates/netsim/src/event.rs",
+    "crates/netsim/src/slab.rs",
     "crates/netsim/src/host.rs",
     "crates/netsim/src/switch.rs",
     "crates/netsim/src/port.rs",
@@ -81,8 +82,9 @@ const HOT_FILES: [&str; 8] = [
 
 /// Files where by-name metric lookups are banned (metric-lookup rule):
 /// the hot path plus the dispatch loop in `network.rs`.
-const METRIC_LOOKUP_FILES: [&str; 7] = [
+const METRIC_LOOKUP_FILES: [&str; 8] = [
     "crates/netsim/src/event.rs",
+    "crates/netsim/src/slab.rs",
     "crates/netsim/src/host.rs",
     "crates/netsim/src/switch.rs",
     "crates/netsim/src/port.rs",
