@@ -93,8 +93,9 @@ pub enum PacketKind {
     },
 }
 
-/// A packet in flight or queued.
-#[derive(Debug, Clone)]
+/// A packet in flight or queued. All-POD and `Copy`: moving packets
+/// between pool slots and the wire is a memcpy, never an allocation.
+#[derive(Debug, Clone, Copy)]
 pub struct Packet {
     /// What this packet is.
     pub kind: PacketKind,

@@ -70,7 +70,7 @@ impl PacketPool {
             "double take of packet slot {}",
             r.0
         );
-        let pkt = self.slots[r.0 as usize].clone();
+        let pkt = self.slots[r.0 as usize];
         self.free.push(r.0);
         pkt
     }

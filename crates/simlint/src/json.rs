@@ -1,0 +1,322 @@
+//! Dependency-free JSON: a tiny value type with deterministic emission
+//! (object keys in insertion order, which callers keep sorted; fixed
+//! float formatting) and a strict recursive-descent parser for the
+//! ratchet baseline file.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true`/`false`
+    Bool(bool),
+    /// Unsigned integer (all simlint numbers are counts/lines).
+    UInt(u64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, keys in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Unsigned value, if this is a number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Pretty-prints with 2-space indentation and a trailing newline —
+    /// byte-stable for identical values.
+    pub fn pretty(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, 0);
+        s.push('\n');
+        s
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document. Strict enough for baseline files; errors
+/// carry a byte offset.
+pub fn parse(src: &str) -> Result<Json, String> {
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let v = parse_value(&b, &mut i)?;
+    skip_ws(&b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing content at offset {i}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[char], i: &mut usize) {
+    while *i < b.len() && b[*i].is_whitespace() {
+        *i += 1;
+    }
+}
+
+fn parse_value(b: &[char], i: &mut usize) -> Result<Json, String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        Some('{') => {
+            *i += 1;
+            let mut members = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&'}') {
+                *i += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, i);
+                let key = parse_string(b, i)?;
+                skip_ws(b, i);
+                if b.get(*i) != Some(&':') {
+                    return Err(format!("expected ':' at offset {i}", i = *i));
+                }
+                *i += 1;
+                let val = parse_value(b, i)?;
+                members.push((key, val));
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(',') => *i += 1,
+                    Some('}') => {
+                        *i += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {i}", i = *i)),
+                }
+            }
+        }
+        Some('[') => {
+            *i += 1;
+            let mut items = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&']') {
+                *i += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, i)?);
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(',') => *i += 1,
+                    Some(']') => {
+                        *i += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {i}", i = *i)),
+                }
+            }
+        }
+        Some('"') => Ok(Json::Str(parse_string(b, i)?)),
+        Some('t') if matches(b, *i, "true") => {
+            *i += 4;
+            Ok(Json::Bool(true))
+        }
+        Some('f') if matches(b, *i, "false") => {
+            *i += 5;
+            Ok(Json::Bool(false))
+        }
+        Some('n') if matches(b, *i, "null") => {
+            *i += 4;
+            Ok(Json::Null)
+        }
+        Some(c) if c.is_ascii_digit() => {
+            let start = *i;
+            while *i < b.len() && b[*i].is_ascii_digit() {
+                *i += 1;
+            }
+            let text: String = b[start..*i].iter().collect();
+            text.parse::<u64>()
+                .map(Json::UInt)
+                .map_err(|e| format!("bad number at offset {start}: {e}"))
+        }
+        _ => Err(format!("unexpected character at offset {i}", i = *i)),
+    }
+}
+
+fn matches(b: &[char], i: usize, word: &str) -> bool {
+    word.chars()
+        .enumerate()
+        .all(|(k, c)| b.get(i + k) == Some(&c))
+}
+
+fn parse_string(b: &[char], i: &mut usize) -> Result<String, String> {
+    if b.get(*i) != Some(&'"') {
+        return Err(format!("expected string at offset {i}", i = *i));
+    }
+    *i += 1;
+    let mut s = String::new();
+    while *i < b.len() {
+        match b[*i] {
+            '"' => {
+                *i += 1;
+                return Ok(s);
+            }
+            '\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('/') => s.push('/'),
+                    Some('u') => {
+                        let hex: String = b[(*i + 1).min(b.len())..(*i + 5).min(b.len())]
+                            .iter()
+                            .collect();
+                        let code = u32::from_str_radix(&hex, 16)
+                            .map_err(|e| format!("bad \\u escape: {e}"))?;
+                        s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *i += 4;
+                    }
+                    _ => return Err("bad escape".into()),
+                }
+                *i += 1;
+            }
+            c => {
+                s.push(c);
+                *i += 1;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        let v = Json::Obj(vec![
+            ("a".into(), Json::UInt(3)),
+            (
+                "b".into(),
+                Json::Arr(vec![Json::Str("x\"y".into()), Json::Null]),
+            ),
+            ("c".into(), Json::Bool(true)),
+        ]);
+        let text = v.pretty();
+        let back = parse(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn emission_is_byte_stable() {
+        let v = Json::Obj(vec![("k".into(), Json::UInt(1))]);
+        assert_eq!(v.pretty(), v.pretty());
+        assert_eq!(v.pretty(), "{\n  \"k\": 1\n}\n");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("{\"a\": }").is_err());
+    }
+}

@@ -1,0 +1,440 @@
+//! A small Rust lexer: the foundation the passes scan instead of raw
+//! lines. Comments are dropped; string/char literal *contents* become
+//! opaque tokens, so a rule needle appearing inside a string can never
+//! produce a finding (the line scanner this engine replaced got that
+//! wrong for multi-line raw strings).
+//!
+//! The lexer is intentionally smaller than rustc's: it distinguishes
+//! exactly the shapes the passes care about — identifiers, lifetimes,
+//! string/char/byte literals, numbers (with an `is_float` flag), and
+//! punctuation (multi-character operators like `::`, `->`, `+=` are one
+//! token, so `->` can never be mistaken for a binary minus).
+
+use std::fmt;
+
+/// Token kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `impl`, `as`, … are `Ident` too; the
+    /// parser distinguishes them by text).
+    Ident,
+    /// A lifetime (`'a`) — kept distinct so char-literal handling can
+    /// never eat one.
+    Lifetime,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`). `text` is
+    /// the literal's *content* (quotes stripped), never scanned by rules.
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal; `text` keeps the raw spelling (`1_000`, `0.5`,
+    /// `1e9`, `0xFF`).
+    Num,
+    /// Punctuation; multi-char operators are a single token.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token.
+    pub kind: TokKind,
+    /// The token text (content only, for string literals).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this punctuation with exactly this text?
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+
+    /// Is this a float literal (`0.5`, `1e9`, `2f64`)?
+    pub fn is_float(&self) -> bool {
+        self.kind == TokKind::Num
+            && (self.text.contains('.')
+                || ((self.text.contains('e') || self.text.contains('E'))
+                    && !self.text.starts_with("0x")
+                    && !self.text.starts_with("0X"))
+                || self.text.ends_with("f32")
+                || self.text.ends_with("f64"))
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            TokKind::Str => write!(f, "\"…\""),
+            _ => write!(f, "{}", self.text),
+        }
+    }
+}
+
+/// Multi-character operators, longest first so `::=`-style ambiguity
+/// cannot arise (`..=` before `..`, `<<=` before `<<`).
+const MULTI_PUNCT: [&str; 24] = [
+    "..=", "...", "<<=", ">>=", "::", "->", "=>", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=",
+    "%=", "&=", "|=", "^=", "&&", "||", "<<", ">>", "..",
+];
+
+/// Tokenizes Rust source. Never fails: unterminated literals consume to
+/// end of input (a file that does not compile is not simlint's problem).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    // Counts newlines in b[from..to] into `line`.
+    let count_lines = |from: usize, to: usize, line: &mut u32, b: &[char]| {
+        *line += b[from..to.min(b.len())]
+            .iter()
+            .filter(|&&c| c == '\n')
+            .count() as u32;
+    };
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                let mut depth = 1usize;
+                let start = i;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                count_lines(start, i, &mut line, &b);
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let content_start = i;
+                while i < b.len() {
+                    if b[i] == '\\' {
+                        i += 2;
+                    } else if b[i] == '"' {
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let content: String = b[content_start..i.min(b.len())].iter().collect();
+                let at = line;
+                count_lines(start, i, &mut line, &b);
+                i = (i + 1).min(b.len());
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: content,
+                    line: at,
+                });
+            }
+            'r' | 'b' if is_raw_or_byte_string(&b, i) => {
+                let start = i;
+                // Skip the prefix letters (`r`, `b`, `br`, `rb`).
+                while i < b.len() && (b[i] == 'r' || b[i] == 'b') {
+                    i += 1;
+                }
+                let mut hashes = 0usize;
+                while b.get(i) == Some(&'#') {
+                    hashes += 1;
+                    i += 1;
+                }
+                if b.get(i) == Some(&'"') {
+                    i += 1;
+                    let content_start = i;
+                    let mut content_end = b.len();
+                    while i < b.len() {
+                        if b[i] == '"' {
+                            let mut k = 0;
+                            while k < hashes && b.get(i + 1 + k) == Some(&'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                content_end = i;
+                                i += 1 + hashes;
+                                break;
+                            }
+                        } else if b[i] == '\\' && hashes == 0 && start + 1 != i {
+                            // Escapes only exist in b"…" (not raw strings);
+                            // hashes==0 raw strings (`r"…"`) have none either,
+                            // but a lone backslash before the quote is safe to
+                            // step over in both.
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    let content: String =
+                        b[content_start..content_end.min(b.len())].iter().collect();
+                    let at = line;
+                    count_lines(start, i, &mut line, &b);
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: content,
+                        line: at,
+                    });
+                } else {
+                    // `r#ident` (raw identifier) or a plain ident starting
+                    // with r/b: rewind and lex as an identifier.
+                    i = start;
+                    let tok = lex_ident(&b, &mut i, line);
+                    toks.push(tok);
+                }
+            }
+            '\'' => {
+                // Char literal vs lifetime.
+                if b.get(i + 1) == Some(&'\\') {
+                    // Escaped char: scan to the closing quote.
+                    let mut j = i + 2;
+                    while j < b.len() && b[j] != '\'' {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line,
+                    });
+                    i = (j + 1).min(b.len());
+                } else if b.get(i + 2) == Some(&'\'') && b.get(i + 1).is_some() {
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line,
+                    });
+                    i += 3;
+                } else {
+                    // Lifetime: `'` followed by ident chars.
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: b[i..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    let d = b[i];
+                    if d.is_alphanumeric() || d == '_' {
+                        i += 1;
+                        // Exponent sign: `1e-9`, `2.5E+3`.
+                        if (d == 'e' || d == 'E')
+                            && !b[start..i].iter().collect::<String>().starts_with("0x")
+                            && matches!(b.get(i), Some('+') | Some('-'))
+                            && b.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                        {
+                            i += 1;
+                        }
+                    } else if d == '.'
+                        && b.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                        && !b[start..i].contains(&'.')
+                    {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let tok = lex_ident(&b, &mut i, line);
+                toks.push(tok);
+            }
+            _ => {
+                let rest: String = b[i..(i + 3).min(b.len())].iter().collect();
+                let mut matched = false;
+                for op in MULTI_PUNCT {
+                    if rest.starts_with(op) {
+                        toks.push(Tok {
+                            kind: TokKind::Punct,
+                            text: op.to_owned(),
+                            line,
+                        });
+                        i += op.chars().count();
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    toks.push(Tok {
+                        kind: TokKind::Punct,
+                        text: c.to_string(),
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+        }
+    }
+    toks
+}
+
+/// Does `b[i..]` start a raw/byte string literal (`r"`, `r#"`, `b"`,
+/// `br#"`)? A plain identifier like `result` must not match.
+fn is_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    let mut seen_prefix = false;
+    while j < b.len() && (b[j] == 'r' || b[j] == 'b') && j - i < 2 {
+        j += 1;
+        seen_prefix = true;
+    }
+    if !seen_prefix {
+        return false;
+    }
+    // Byte char literal `b'x'` is handled by the char arm upstream; only
+    // claim strings here.
+    while b.get(j) == Some(&'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&'"')
+}
+
+fn lex_ident(b: &[char], i: &mut usize, line: u32) -> Tok {
+    let start = *i;
+    while *i < b.len() && (b[*i].is_alphanumeric() || b[*i] == '_') {
+        *i += 1;
+    }
+    // Raw identifier `r#ident`: swallow the `#` if we stopped at one right
+    // after a lone `r`.
+    if *i == start + 1 && b[start] == 'r' && b.get(*i) == Some(&'#') {
+        *i += 1;
+        let id_start = *i;
+        while *i < b.len() && (b[*i].is_alphanumeric() || b[*i] == '_') {
+            *i += 1;
+        }
+        return Tok {
+            kind: TokKind::Ident,
+            text: b[id_start..*i].iter().collect(),
+            line,
+        };
+    }
+    Tok {
+        kind: TokKind::Ident,
+        text: b[start..*i].iter().collect(),
+        line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_are_dropped() {
+        assert_eq!(texts("a // b.keys()\nc"), vec!["a", "c"]);
+        assert_eq!(texts("a /* x /* y */ z */ b"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn string_contents_are_opaque() {
+        let toks = lex("let s = \"x.iter() .unwrap()\";");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert!(!toks.iter().any(|t| t.is_ident("iter")));
+    }
+
+    #[test]
+    fn multiline_raw_strings_are_one_token() {
+        let src = "let s = r#\"\n  self.occupied += 1\n  q.unwrap()\n\"#;\nlet t = 2;";
+        let toks = lex(src);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        // The token after the raw string lands on the right line.
+        let t = toks.iter().find(|t| t.is_ident("t")).unwrap();
+        assert_eq!(t.line, 5);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn multi_char_punct_is_one_token() {
+        let toks = lex("a -> b :: c += d..=e");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["->", "::", "+=", "..="]);
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        let toks = lex("1_000 0.5 1e9 1e-9 0xFF 2f64 1..10");
+        let nums: Vec<(&str, bool)> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| (t.text.as_str(), t.is_float()))
+            .collect();
+        assert_eq!(
+            nums,
+            vec![
+                ("1_000", false),
+                ("0.5", true),
+                ("1e9", true),
+                ("1e-9", true),
+                ("0xFF", false),
+                ("2f64", true),
+                ("1", false),
+                ("10", false),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "a\n/* two\nlines */\nb \"str\nwith newline\" c";
+        let toks = lex(src);
+        let a = toks.iter().find(|t| t.is_ident("a")).unwrap();
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        let c = toks.iter().find(|t| t.is_ident("c")).unwrap();
+        assert_eq!((a.line, b.line, c.line), (1, 4, 5));
+    }
+
+    #[test]
+    fn byte_strings_and_raw_idents() {
+        let toks = lex("let x = b\"bytes .iter()\"; let r#type = 1;");
+        assert!(!toks.iter().any(|t| t.is_ident("iter")));
+        assert!(toks.iter().any(|t| t.is_ident("type")));
+    }
+}

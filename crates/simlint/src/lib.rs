@@ -1,0 +1,287 @@
+//! simlint v2 — static analysis for the netsim workspace.
+//!
+//! A real lexer ([`lexer`]) feeds an item-recovery parser ([`items`])
+//! that rebuilds `fn` definitions, struct fields, and call sites; a call
+//! graph ([`callgraph`]) rooted at the event dispatch loop *computes*
+//! the hot-path function/file set (no hard-coded lists); the passes
+//! ([`rules`]) run over tokens and reachability; and a ratchet baseline
+//! ([`baseline`]) lets reviewed findings persist with a justification
+//! while failing CI on anything new.
+//!
+//! The crate is a library so the rules are testable against fixtures;
+//! `src/main.rs` is a thin CLI over [`analyze_sources`] +
+//! [`Baseline::ratchet`].
+
+pub mod baseline;
+pub mod callgraph;
+pub mod items;
+pub mod json;
+pub mod lexer;
+pub mod rules;
+
+pub use baseline::{Baseline, RatchetResult};
+pub use callgraph::RootSpec;
+pub use rules::Finding;
+
+use json::Json;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Analysis configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Dispatch roots for hot-path reachability.
+    pub roots: Vec<RootSpec>,
+    /// Files exempt from determinism-taint (the config-loading layer is
+    /// allowed to read the environment).
+    pub config_files: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            roots: vec![
+                RootSpec::parse("Network::run_until").expect("static root"),
+                RootSpec::parse("EventQueue::pop_batch").expect("static root"),
+            ],
+            config_files: Vec::new(),
+        }
+    }
+}
+
+/// The outcome of one analysis run.
+pub struct Analysis {
+    /// Findings surviving inline `simlint: allow(…)` suppression, sorted
+    /// by (file, line, rule, msg).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by inline allow comments.
+    pub suppressed_inline: usize,
+    /// Computed hot-path files, sorted.
+    pub hot_files: Vec<String>,
+    /// Computed hot-path function labels (`Type::name (file)`), sorted.
+    pub hot_fns: Vec<String>,
+    /// The shard-safety report for ROADMAP 2b planning.
+    pub shard_report: Json,
+    /// Files analyzed.
+    pub files: usize,
+    /// Functions recovered.
+    pub fns: usize,
+    /// Call edges resolved.
+    pub edges: usize,
+}
+
+/// Runs the full analysis over `(relative path, source)` pairs.
+pub fn analyze_sources(sources: &[(String, String)], config: &Config) -> Analysis {
+    let mut files: Vec<items::ParsedFile> = sources
+        .iter()
+        .map(|(rel, src)| items::parse_file(rel, src))
+        .collect();
+
+    // Workspace-wide receiver-typing tables.
+    let mut field_ty: BTreeMap<(String, String), String> = BTreeMap::new();
+    let mut methods_of: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for f in &files {
+        for fd in &f.fields {
+            field_ty.insert((fd.owner.clone(), fd.name.clone()), fd.ty.clone());
+        }
+        for fun in &f.fns {
+            if let Some(o) = &fun.owner {
+                methods_of
+                    .entry(o.clone())
+                    .or_default()
+                    .push(fun.name.clone());
+            }
+        }
+    }
+    for f in &mut files {
+        items::type_calls(f, &field_ty, &methods_of);
+    }
+
+    let graph = callgraph::build(&files, &config.roots);
+    let map_names = rules::collect_map_names(&files);
+    let ctx = rules::PassCtx {
+        files: &files,
+        graph: &graph,
+        map_names: &map_names,
+        config_files: &config.config_files,
+    };
+    let all = rules::run_all(&ctx);
+
+    let mut findings = Vec::new();
+    let mut suppressed_inline = 0usize;
+    for f in all {
+        let raw = &files
+            .iter()
+            .find(|p| p.rel == f.file)
+            .expect("finding refers to an analyzed file")
+            .raw_lines;
+        if rules::allowed(raw, f.line, f.rule) {
+            suppressed_inline += 1;
+        } else {
+            findings.push(f);
+        }
+    }
+
+    let shard_report = shard_report(&files, &graph, &findings);
+    let fns = files.iter().map(|f| f.fns.len()).sum();
+
+    Analysis {
+        findings,
+        suppressed_inline,
+        hot_files: graph.hot_files.clone(),
+        hot_fns: graph.hot_fn_labels(&files),
+        shard_report,
+        files: files.len(),
+        fns,
+        edges: graph.edges,
+    }
+}
+
+/// The machine-readable shard-safety report: the work-list for sharded
+/// execution (ROADMAP 2b). `ctx_mut_fns` is every hot function threading
+/// `&mut Ctx` (state a sharded executor must split or fence);
+/// `shared_constructs` counts unsuppressed shard-safety findings.
+fn shard_report(
+    files: &[items::ParsedFile],
+    graph: &callgraph::CallGraph,
+    findings: &[Finding],
+) -> Json {
+    let mut ctx_mut: Vec<String> = Vec::new();
+    let mut per_file: BTreeMap<String, u64> = BTreeMap::new();
+    for &(fi, gi) in &graph.hot {
+        let file = &files[fi];
+        let f = &file.fns[gi];
+        if f.is_test {
+            continue;
+        }
+        *per_file.entry(file.rel.clone()).or_insert(0) += 1;
+        if f.params.iter().any(|(_, ty)| ty == "Ctx") || f.owner.as_deref() == Some("Ctx") {
+            let label = match &f.owner {
+                Some(o) => format!("{o}::{} ({})", f.name, file.rel),
+                None => format!("{} ({})", f.name, file.rel),
+            };
+            ctx_mut.push(label);
+        }
+    }
+    ctx_mut.sort();
+    ctx_mut.dedup();
+    let shared = findings.iter().filter(|f| f.rule == "shard-safety").count() as u64;
+    let files_arr: Vec<Json> = per_file
+        .into_iter()
+        .map(|(rel, n)| {
+            Json::Obj(vec![
+                ("file".into(), Json::Str(rel)),
+                ("hot_fns".into(), Json::UInt(n)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        (
+            "ctx_mut_fns".into(),
+            Json::Arr(ctx_mut.into_iter().map(Json::Str).collect()),
+        ),
+        ("files".into(), Json::Arr(files_arr)),
+        ("shared_constructs".into(), Json::UInt(shared)),
+    ])
+}
+
+/// Directories never scanned (mirrors the legacy scanner, plus simlint
+/// itself — its fixtures *contain* findings).
+pub const SKIP_DIRS: [&str; 7] = [
+    "simlint", "target", ".git", "tests", "benches", "examples", "fuzz",
+];
+
+/// Collects `(relative path, source)` for every workspace `.rs` file
+/// under `<root>/crates`, sorted by path (`crates/…`-prefixed) for
+/// deterministic output.
+pub fn collect_workspace_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut out: Vec<(String, String)> = Vec::new();
+    let mut stack = vec![root.join("crates")];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                let src = std::fs::read_to_string(&path)?;
+                out.push((rel, src));
+            }
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+/// Renders the full JSON report. Output is byte-stable: sorted findings,
+/// sorted keys, fixed formatting.
+pub fn render_report(analysis: &Analysis, ratchet: &RatchetResult) -> String {
+    let findings: Vec<Json> = analysis
+        .findings
+        .iter()
+        .map(|f| {
+            let is_new = ratchet.new.contains(f);
+            Json::Obj(vec![
+                (
+                    "chain".into(),
+                    match &f.chain {
+                        Some(c) => Json::Str(c.clone()),
+                        None => Json::Null,
+                    },
+                ),
+                ("file".into(), Json::Str(f.file.clone())),
+                ("line".into(), Json::UInt(f.line as u64)),
+                ("msg".into(), Json::Str(f.msg.clone())),
+                ("new".into(), Json::Bool(is_new)),
+                ("rule".into(), Json::Str(f.rule.to_owned())),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("findings".into(), Json::Arr(findings)),
+        (
+            "hot_files".into(),
+            Json::Arr(analysis.hot_files.iter().cloned().map(Json::Str).collect()),
+        ),
+        (
+            "hot_fns".into(),
+            Json::Arr(analysis.hot_fns.iter().cloned().map(Json::Str).collect()),
+        ),
+        ("schema".into(), Json::Str("simlint-v2".into())),
+        ("shard_report".into(), analysis.shard_report.clone()),
+        (
+            "summary".into(),
+            Json::Obj(vec![
+                ("edges".into(), Json::UInt(analysis.edges as u64)),
+                ("files".into(), Json::UInt(analysis.files as u64)),
+                (
+                    "findings".into(),
+                    Json::UInt(analysis.findings.len() as u64),
+                ),
+                ("fns".into(), Json::UInt(analysis.fns as u64)),
+                ("hot_fns".into(), Json::UInt(analysis.hot_fns.len() as u64)),
+                ("new".into(), Json::UInt(ratchet.new.len() as u64)),
+                (
+                    "suppressed_baseline".into(),
+                    Json::UInt(ratchet.suppressed as u64),
+                ),
+                (
+                    "suppressed_inline".into(),
+                    Json::UInt(analysis.suppressed_inline as u64),
+                ),
+            ]),
+        ),
+    ])
+    .pretty()
+}

@@ -1,181 +1,80 @@
-//! `simlint` — repo-specific static analysis the compiler and clippy
-//! cannot express, run as `cargo run -p simlint` (CI runs it on every
-//! push). Dependency-free by design: a line/token-level scanner, not a
-//! full parser.
+//! Thin CLI over the simlint library.
 //!
-//! Rules:
+//! ```text
+//! simlint [--format text|json] [--baseline PATH] [--no-baseline]
+//!         [--write-baseline] [--print-hot] [--root Type::method]...
+//! ```
 //!
-//! * **map-iter** — no iteration over `HashMap`/`HashSet` (or aliases of
-//!   them, e.g. `RouteTable`) anywhere in workspace library code. The
-//!   simulator's contract is bit-for-bit determinism — a run is a pure
-//!   function of config + seed — and `std` hash iteration order is
-//!   randomized per process, so any map iteration that feeds event
-//!   ordering, sampling or output silently breaks reproducibility.
-//!   Deterministic paths use `BTreeMap`, sorted `Vec`s, or insertion-order
-//!   side lists (`Network::flow_order`).
-//! * **counter-arith** — no bare `+`/`-`/`as` on byte/occupancy counters
-//!   in `netsim`'s buffer/port/switch modules; accounting must go through
-//!   `netsim::units::checked` so overflow/underflow surface as checked
-//!   failures instead of silent wraps that sneak past capacity tests.
-//! * **float-cmp** — no `partial_cmp().unwrap()` (NaN panic) anywhere,
-//!   and no `==`/`!=` against float literals in `stats.rs` (percentile
-//!   machinery must use `total_cmp` and epsilon tests).
-//! * **hot-unwrap** — no `unwrap()`/`expect()` in the per-event hot path
-//!   (`event.rs`, `host.rs`, `switch.rs`, `port.rs`, and the telemetry
-//!   registry/recorder/span-tracer that sit on it): a malformed packet
-//!   or state-machine corner must degrade (drop, debug_assert) rather
-//!   than abort a multi-minute experiment run.
-//! * **metric-lookup** — no string-keyed metric lookups (`.counter("`,
-//!   `.counter_value(`, …) in the per-event hot path or the dispatch
-//!   loop. Metrics are registered once and updated through `Copy`
-//!   handles (`CounterId`/`GaugeId`/`HistId`) so the per-event cost is
-//!   one array index — a by-name lookup there reintroduces the string
-//!   scan the telemetry design exists to avoid.
-//!
-//! Suppression: a `// simlint: allow(<rule>)` comment on the offending
-//! line or the line above silences that rule there. Allowlisting requires
-//! a justification in the surrounding comment.
-//!
-//! Test code is exempt: files under `tests/`, `benches/`, `examples/`,
-//! and everything after a `#[cfg(test)]` attribute (module tests sit at
-//! the bottom of each file by repo convention).
+//! Exit codes: 0 clean (all findings baselined/suppressed), 1 new
+//! findings beyond the ratchet baseline, 2 usage or I/O error.
 
-use std::fmt;
+use simlint::{analyze_sources, collect_workspace_sources, render_report};
+use simlint::{Baseline, Config, RootSpec};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Files whose byte counters must use `netsim::units::checked`.
-const COUNTER_FILES: [&str; 3] = [
-    "crates/netsim/src/buffer.rs",
-    "crates/netsim/src/port.rs",
-    "crates/netsim/src/switch.rs",
-];
+const BASELINE_NAME: &str = "simlint_baseline.json";
 
-/// Counter identifiers covered by the counter-arith rule (whole-token
-/// match): shared-pool occupancy, per-ingress attribution, egress queue
-/// accounting, and the QCN sampling counters.
-const COUNTER_TOKENS: [&str; 8] = [
-    "occupied",
-    "ingress",
-    "queued_bytes",
-    "egress_depth",
-    "bytes_since_sample",
-    "q_old",
-    "wire",
-    "free",
-];
-
-/// Files forming the per-event hot path (hot-unwrap rule). The telemetry
-/// registry and flight recorder are on it: every counter bump and trace
-/// record runs per event.
-const HOT_FILES: [&str; 9] = [
-    "crates/netsim/src/event.rs",
-    "crates/netsim/src/slab.rs",
-    "crates/netsim/src/host.rs",
-    "crates/netsim/src/switch.rs",
-    "crates/netsim/src/port.rs",
-    "crates/netsim/src/faults.rs",
-    "crates/netsim/src/telemetry/registry.rs",
-    "crates/netsim/src/telemetry/recorder.rs",
-    "crates/netsim/src/telemetry/spans.rs",
-];
-
-/// Files where by-name metric lookups are banned (metric-lookup rule):
-/// the hot path plus the dispatch loop in `network.rs`.
-const METRIC_LOOKUP_FILES: [&str; 8] = [
-    "crates/netsim/src/event.rs",
-    "crates/netsim/src/slab.rs",
-    "crates/netsim/src/host.rs",
-    "crates/netsim/src/switch.rs",
-    "crates/netsim/src/port.rs",
-    "crates/netsim/src/faults.rs",
-    "crates/netsim/src/network.rs",
-    "crates/netsim/src/telemetry/spans.rs",
-];
-
-/// String-keyed registry calls: registration forms (a string literal as
-/// the first argument) and the by-name read-side accessors.
-const METRIC_LOOKUP_NEEDLES: [&str; 6] = [
-    ".counter(\"",
-    ".gauge(\"",
-    ".histogram(\"",
-    ".counter_value(",
-    ".gauge_value(",
-    ".hist_by_name(",
-];
-
-/// Methods that iterate a map in unspecified order.
-const ITER_METHODS: [&str; 8] = [
-    ".iter()",
-    ".iter_mut()",
-    ".keys()",
-    ".values()",
-    ".values_mut()",
-    ".into_iter()",
-    ".drain(",
-    ".retain(",
-];
-
-/// One diagnostic.
-struct Finding {
-    file: String,
-    line: usize,
-    rule: &'static str,
-    msg: String,
+struct Args {
+    format_json: bool,
+    baseline: Option<PathBuf>,
+    no_baseline: bool,
+    write_baseline: bool,
+    print_hot: bool,
+    roots: Vec<RootSpec>,
 }
 
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.msg
-        )
-    }
+fn usage() -> &'static str {
+    "usage: simlint [--format text|json] [--baseline PATH] [--no-baseline]\n\
+     \x20              [--write-baseline] [--print-hot] [--root Type::method]...\n\
+     \n\
+     rules:\n"
 }
 
-/// A scanned source file: path (workspace-relative, `/`-separated), raw
-/// lines (for allow-comments), stripped lines (comments and string
-/// contents blanked), and the index of the first test-only line.
-struct SourceFile {
-    rel: String,
-    raw: Vec<String>,
-    code: Vec<String>,
-    test_from: usize,
-}
-
-fn main() -> ExitCode {
-    let root = workspace_root();
-    let mut files = Vec::new();
-    collect_rs_files(&root.join("crates"), &mut files);
-    files.sort();
-    if files.is_empty() {
-        eprintln!("simlint: no source files found under {}", root.display());
-        return ExitCode::FAILURE;
-    }
-
-    let sources: Vec<SourceFile> = files.iter().filter_map(|p| load_source(p, &root)).collect();
-
-    let map_names = collect_map_names(&sources);
-    let mut findings = Vec::new();
-    for src in &sources {
-        lint_source(src, &map_names, &mut findings);
-    }
-
-    if findings.is_empty() {
-        println!(
-            "simlint: {} files clean ({} map-typed names tracked)",
-            sources.len(),
-            map_names.len()
-        );
-        ExitCode::SUCCESS
-    } else {
-        for f in &findings {
-            eprintln!("{f}");
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        format_json: false,
+        baseline: None,
+        no_baseline: false,
+        write_baseline: false,
+        print_hot: false,
+        roots: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                match v.as_str() {
+                    "json" => args.format_json = true,
+                    "text" => args.format_json = false,
+                    other => return Err(format!("unknown format {other:?}")),
+                }
+            }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a path")?;
+                args.baseline = Some(PathBuf::from(v));
+            }
+            "--no-baseline" => args.no_baseline = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--print-hot" => args.print_hot = true,
+            "--root" => {
+                let v = it.next().ok_or("--root needs Type::method")?;
+                args.roots
+                    .push(RootSpec::parse(&v).ok_or_else(|| format!("bad root {v:?}"))?);
+            }
+            "--help" | "-h" => {
+                let mut help = usage().to_owned();
+                for (rule, desc) in simlint::rules::RULES {
+                    help.push_str(&format!("  {rule:<18} {desc}\n"));
+                }
+                print!("{help}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
         }
-        eprintln!("simlint: {} finding(s)", findings.len());
-        ExitCode::FAILURE
     }
+    Ok(args)
 }
 
 /// The workspace root: two levels above this crate's manifest when run
@@ -190,676 +89,130 @@ fn workspace_root() -> PathBuf {
     PathBuf::from(".")
 }
 
-/// Recursively collects `.rs` files, skipping this crate, build output,
-/// and test-only trees.
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    const SKIP_DIRS: [&str; 7] = [
-        "simlint", "target", ".git", "tests", "benches", "examples", "fuzz",
-    ];
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    let mut entries: Vec<_> = entries.filter_map(|e| e.ok()).collect();
-    entries.sort_by_key(|e| e.file_name());
-    for entry in entries {
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if !SKIP_DIRS.contains(&name.as_ref()) {
-                collect_rs_files(&path, out);
-            }
-        } else if name.ends_with(".rs") {
-            out.push(path);
-        }
-    }
-}
-
-fn load_source(path: &Path, root: &Path) -> Option<SourceFile> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let rel = path
-        .strip_prefix(root)
-        .unwrap_or(path)
-        .components()
-        .map(|c| c.as_os_str().to_string_lossy().into_owned())
-        .collect::<Vec<_>>()
-        .join("/");
-    let raw: Vec<String> = text.lines().map(str::to_owned).collect();
-    let code = strip_code(&text);
-    let test_from = raw
-        .iter()
-        .position(|l| {
-            let t = l.trim_start();
-            t.starts_with("#[cfg(") && t.contains("test")
-        })
-        .unwrap_or(raw.len());
-    Some(SourceFile {
-        rel,
-        raw,
-        code,
-        test_from,
-    })
-}
-
-/// Blanks comments and the *contents* of string/char literals (quotes are
-/// kept so token positions stay roughly aligned). Handles `//`, nested
-/// `/* */`, `"..."` with escapes, `r"..."`/`r#"..."#`, and char literals
-/// (without mistaking lifetimes for them).
-fn strip_code(src: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut block_depth = 0usize;
-    for line in src.lines() {
-        let b: Vec<char> = line.chars().collect();
-        let mut s = String::with_capacity(b.len());
-        let mut i = 0;
-        while i < b.len() {
-            if block_depth > 0 {
-                if b[i] == '*' && b.get(i + 1) == Some(&'/') {
-                    block_depth -= 1;
-                    i += 2;
-                } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
-                    block_depth += 1;
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-                continue;
-            }
-            match b[i] {
-                '/' if b.get(i + 1) == Some(&'/') => break, // line comment
-                '/' if b.get(i + 1) == Some(&'*') => {
-                    block_depth += 1;
-                    i += 2;
-                }
-                '"' => {
-                    s.push('"');
-                    i += 1;
-                    while i < b.len() {
-                        if b[i] == '\\' {
-                            i += 2;
-                        } else if b[i] == '"' {
-                            s.push('"');
-                            i += 1;
-                            break;
-                        } else {
-                            i += 1;
-                        }
-                    }
-                }
-                'r' if b.get(i + 1) == Some(&'"') || (b.get(i + 1) == Some(&'#')) => {
-                    // Raw string r"..." or r#"..."# (single-line handling;
-                    // the workspace has no multi-line raw strings).
-                    let mut hashes = 0;
-                    let mut j = i + 1;
-                    while b.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if b.get(j) == Some(&'"') {
-                        s.push('"');
-                        j += 1;
-                        'raw: while j < b.len() {
-                            if b[j] == '"' {
-                                let mut k = 0;
-                                while k < hashes && b.get(j + 1 + k) == Some(&'#') {
-                                    k += 1;
-                                }
-                                if k == hashes {
-                                    s.push('"');
-                                    j += 1 + hashes;
-                                    break 'raw;
-                                }
-                            }
-                            j += 1;
-                        }
-                        i = j;
-                    } else {
-                        s.push('r');
-                        i += 1;
-                    }
-                }
-                '\'' => {
-                    // Char literal vs lifetime: `'\..'` escapes scan to the
-                    // closing quote; `'x'` closes exactly two chars later;
-                    // anything else is a lifetime.
-                    if b.get(i + 1) == Some(&'\\') {
-                        let mut j = i + 2;
-                        while j < b.len() && b[j] != '\'' {
-                            j += 1;
-                        }
-                        s.push('\'');
-                        s.push('\'');
-                        i = (j + 1).min(b.len());
-                    } else if b.get(i + 2) == Some(&'\'') {
-                        s.push('\'');
-                        s.push('\'');
-                        i += 3;
-                    } else {
-                        s.push('\'');
-                        i += 1;
-                    }
-                }
-                c => {
-                    s.push(c);
-                    i += 1;
-                }
-            }
-        }
-        out.push(s);
-    }
-    out
-}
-
-/// True when `tok` appears in `line` as a whole identifier token.
-fn has_token(line: &str, tok: &str) -> bool {
-    let mut from = 0;
-    while let Some(pos) = line[from..].find(tok) {
-        let start = from + pos;
-        let end = start + tok.len();
-        let before_ok = start == 0
-            || !line[..start]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let after_ok = !line[end..]
-            .chars()
-            .next()
-            .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if before_ok && after_ok {
-            return true;
-        }
-        from = end;
-    }
-    false
-}
-
-/// Collects every identifier bound to a `HashMap`/`HashSet` type across
-/// all non-test library code: type aliases first, then field/let/struct
-/// bindings of the base types or any alias.
-fn collect_map_names(sources: &[SourceFile]) -> Vec<String> {
-    let mut names: Vec<String> = Vec::new();
-    let mut push = |n: String| {
-        if !n.is_empty() && !names.contains(&n) {
-            names.push(n);
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            return ExitCode::from(2);
         }
     };
 
-    // Pass A: type aliases (`pub type RouteTable = HashMap<...>`).
-    let mut needles: Vec<String> = vec!["HashMap".into(), "HashSet".into()];
-    for src in sources {
-        for line in &src.code[..src.test_from.min(src.code.len())] {
-            let t = line.trim();
-            let Some(rest) = t
-                .strip_prefix("pub type ")
-                .or_else(|| t.strip_prefix("type "))
-            else {
-                continue;
-            };
-            let Some((alias, rhs)) = rest.split_once('=') else {
-                continue;
-            };
-            if has_token(rhs, "HashMap") || has_token(rhs, "HashSet") {
-                let alias = alias.split('<').next().unwrap_or("").trim();
-                if !alias.is_empty() && !needles.iter().any(|n| n == alias) {
-                    needles.push(alias.to_owned());
+    let root = workspace_root();
+    let sources = match collect_workspace_sources(&root) {
+        Ok(s) if !s.is_empty() => s,
+        Ok(_) => {
+            eprintln!("simlint: no source files found under {}", root.display());
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut config = Config::default();
+    if !args.roots.is_empty() {
+        config.roots = args.roots.clone();
+    }
+    let analysis = analyze_sources(&sources, &config);
+
+    if args.print_hot {
+        println!("# hot files ({})", analysis.hot_files.len());
+        for f in &analysis.hot_files {
+            println!("{f}");
+        }
+        println!("# hot fns ({})", analysis.hot_fns.len());
+        for f in &analysis.hot_fns {
+            println!("{f}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join(BASELINE_NAME));
+    let baseline = if args.no_baseline {
+        Baseline::default()
+    } else {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => match Baseline::from_json(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("simlint: bad baseline {}: {e}", baseline_path.display());
+                    return ExitCode::from(2);
                 }
+            },
+            Err(_) if args.baseline.is_none() => Baseline::default(),
+            Err(e) => {
+                eprintln!("simlint: {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
             }
         }
+    };
+
+    if args.write_baseline {
+        let new = Baseline::covering(&analysis.findings, &baseline);
+        if let Err(e) = std::fs::write(&baseline_path, new.to_json()) {
+            eprintln!("simlint: write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "simlint: wrote {} ({} entries covering {} findings)",
+            baseline_path.display(),
+            new.entries.len(),
+            analysis.findings.len()
+        );
+        return ExitCode::SUCCESS;
     }
 
-    // Pass B: bindings — `name: HashMap<..>`, `name = HashMap::new()`,
-    // `name: RouteTable` — collected by scanning backwards from each
-    // occurrence of a map type name for the bound identifier.
-    for src in sources {
-        for line in &src.code[..src.test_from.min(src.code.len())] {
-            let line = line.replace("std::collections::", "");
-            for needle in &needles {
-                let mut from = 0;
-                while let Some(pos) = line[from..].find(needle.as_str()) {
-                    let start = from + pos;
-                    from = start + needle.len();
-                    if !has_token(&line, needle) {
-                        continue;
-                    }
-                    let before = line[..start].trim_end();
-                    let before = before
-                        .strip_suffix(':')
-                        .map(|b| (b.trim_end(), true))
-                        .or_else(|| before.strip_suffix('=').map(|b| (b.trim_end(), false)));
-                    let Some((before, was_colon)) = before else {
-                        continue;
-                    };
-                    // `::` means a path segment, not a type ascription.
-                    if was_colon && before.ends_with(':') {
-                        continue;
-                    }
-                    let ident: String = before
-                        .chars()
-                        .rev()
-                        .take_while(|c| c.is_alphanumeric() || *c == '_')
-                        .collect::<Vec<_>>()
-                        .into_iter()
-                        .rev()
-                        .collect();
-                    if !ident.is_empty() && !ident.chars().next().is_some_and(|c| c.is_numeric()) {
-                        push(ident);
-                    }
-                }
-            }
-        }
-    }
-    names
-}
+    let ratchet = baseline.ratchet(&analysis.findings);
 
-/// The identifier immediately preceding byte offset `at` (exclusive),
-/// i.e. the receiver of a method call found at `at`.
-fn ident_before(line: &str, at: usize) -> String {
-    line[..at]
-        .chars()
-        .rev()
-        .take_while(|c| c.is_alphanumeric() || *c == '_')
-        .collect::<Vec<_>>()
-        .into_iter()
-        .rev()
-        .collect()
-}
-
-/// Does the line contain `-` used as a binary operator (excluding `->`
-/// and unary negation)?
-fn has_binary_minus(line: &str) -> bool {
-    let b: Vec<char> = line.chars().collect();
-    for (i, &c) in b.iter().enumerate() {
-        if c != '-' {
-            continue;
-        }
-        if b.get(i + 1) == Some(&'>') || (i > 0 && b[i - 1] == '-') {
-            continue; // arrow or decrement-like sequence
-        }
-        let prev = b[..i].iter().rev().find(|c| !c.is_whitespace());
-        if prev.is_some_and(|&p| p.is_alphanumeric() || p == '_' || p == ')' || p == ']') {
-            return true;
-        }
-    }
-    false
-}
-
-/// Is this finding suppressed by `// simlint: allow(<rule>)` on the same
-/// or the preceding raw line?
-fn allowed(src: &SourceFile, idx: usize, rule: &str) -> bool {
-    let marker = format!("simlint: allow({rule})");
-    src.raw[idx].contains(&marker) || (idx > 0 && src.raw[idx - 1].contains(&marker))
-}
-
-fn lint_source(src: &SourceFile, map_names: &[String], findings: &mut Vec<Finding>) {
-    let is_counter_file = COUNTER_FILES.contains(&src.rel.as_str());
-    let is_hot_file = HOT_FILES.contains(&src.rel.as_str());
-    let is_metric_file = METRIC_LOOKUP_FILES.contains(&src.rel.as_str());
-    let is_stats = src.rel == "crates/netsim/src/stats.rs";
-
-    for (idx, line) in src.code.iter().enumerate() {
-        if idx >= src.test_from {
-            break;
-        }
-        let lineno = idx + 1;
-        let mut report = |rule: &'static str, msg: String| {
-            if !allowed(src, idx, rule) {
-                findings.push(Finding {
-                    file: src.rel.clone(),
-                    line: lineno,
-                    rule,
-                    msg,
-                });
-            }
+    if args.format_json {
+        print!("{}", render_report(&analysis, &ratchet));
+        return if ratchet.new.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
         };
+    }
 
-        // ---- map-iter -------------------------------------------------
-        for m in ITER_METHODS {
-            let mut from = 0;
-            while let Some(pos) = line[from..].find(m) {
-                let at = from + pos;
-                from = at + m.len();
-                let recv = ident_before(line, at);
-                if map_names.iter().any(|n| n == &recv) {
-                    report(
-                        "map-iter",
-                        format!(
-                            "`{recv}{m}` iterates a HashMap/HashSet in unspecified \
-                             order; use a BTreeMap, a sorted Vec, or an \
-                             insertion-order list"
-                        ),
-                    );
-                }
-            }
-        }
-        if let Some(for_pos) = line.find("for ") {
-            if let Some(in_pos) = line[for_pos..].rfind(" in ") {
-                let expr = line[for_pos + in_pos + 4..]
-                    .trim()
-                    .trim_end_matches('{')
-                    .trim()
-                    .trim_start_matches("&mut ")
-                    .trim_start_matches('&');
-                let last = expr.split('.').next_back().unwrap_or("");
-                let last: String = last
-                    .chars()
-                    .take_while(|c| c.is_alphanumeric() || *c == '_')
-                    .collect();
-                if map_names.iter().any(|n| n == &last) {
-                    report(
-                        "map-iter",
-                        format!(
-                            "`for .. in {last}` iterates a HashMap/HashSet in \
-                             unspecified order"
-                        ),
-                    );
-                }
-            }
-        }
-
-        // ---- counter-arith --------------------------------------------
-        if is_counter_file {
-            let touches_counter = COUNTER_TOKENS.iter().any(|t| has_token(line, t));
-            if touches_counter {
-                let bad = if line.contains("+=") || line.contains("-=") {
-                    Some("compound assignment")
-                } else if line.contains('+') {
-                    Some("bare `+`")
-                } else if has_binary_minus(line) {
-                    Some("bare `-`")
-                } else if line.contains(" as ") {
-                    Some("bare `as` cast")
-                } else {
-                    None
-                };
-                if let Some(kind) = bad {
-                    report(
-                        "counter-arith",
-                        format!(
-                            "{kind} on a byte/occupancy counter; use \
-                             netsim::units::checked (checked_accum, \
-                             checked_drain, scale_bytes, bytes_to_f64) or a \
-                             saturating_* method"
-                        ),
-                    );
-                }
-            }
-        }
-
-        // ---- float-cmp ------------------------------------------------
-        if line.contains(".partial_cmp(")
-            && (line.contains(".unwrap()") || line.contains(".expect("))
-        {
-            report(
-                "float-cmp",
-                "`partial_cmp().unwrap()` panics on NaN; use `total_cmp`".into(),
-            );
-        }
-        if is_stats && (line.contains("==") || line.contains("!=")) {
-            let cmp_float_literal = line.split(['=', '!']).any(|side| {
-                let t = side.trim();
-                let head: String = t
-                    .chars()
-                    .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '_')
-                    .collect();
-                head.contains('.') && head.chars().any(|c| c.is_ascii_digit())
-            });
-            if cmp_float_literal {
-                report(
-                    "float-cmp",
-                    "exact equality against a float literal in stats code; \
-                     use an epsilon or integer domain"
-                        .into(),
-                );
-            }
-        }
-
-        // ---- hot-unwrap -----------------------------------------------
-        if is_hot_file && (line.contains(".unwrap()") || line.contains(".expect(")) {
-            report(
-                "hot-unwrap",
-                "`unwrap()`/`expect()` in the per-event hot path; use \
-                 let-else with a degrade path (drop + debug_assert)"
-                    .into(),
-            );
-        }
-
-        // ---- metric-lookup --------------------------------------------
-        if is_metric_file {
-            for n in METRIC_LOOKUP_NEEDLES {
-                if line.contains(n) {
-                    report(
-                        "metric-lookup",
-                        format!(
-                            "`{n}...` string-keyed metric lookup on the hot \
-                             path; resolve a CounterId/GaugeId/HistId handle \
-                             at registration and index through it"
-                        ),
-                    );
-                }
-            }
+    // Text output.
+    eprintln!(
+        "simlint v2: {} files, {} fns, {} edges; {} hot fns across {} hot files",
+        analysis.files,
+        analysis.fns,
+        analysis.edges,
+        analysis.hot_fns.len(),
+        analysis.hot_files.len()
+    );
+    for f in &ratchet.new {
+        eprintln!("{}:{} [{}] {}", f.file, f.line, f.rule, f.msg);
+        if let Some(chain) = &f.chain {
+            eprintln!("    via {chain}");
         }
     }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn fake(rel: &str, text: &str) -> SourceFile {
-        let raw: Vec<String> = text.lines().map(str::to_owned).collect();
-        let code = strip_code(text);
-        let test_from = raw
-            .iter()
-            .position(|l| {
-                let t = l.trim_start();
-                t.starts_with("#[cfg(") && t.contains("test")
-            })
-            .unwrap_or(raw.len());
-        SourceFile {
-            rel: rel.to_owned(),
-            raw,
-            code,
-            test_from,
-        }
-    }
-
-    fn run(rel: &str, text: &str) -> Vec<String> {
-        let src = fake(rel, text);
-        let maps = collect_map_names(std::slice::from_ref(&src));
-        let mut f = Vec::new();
-        lint_source(&src, &maps, &mut f);
-        f.iter().map(|x| x.rule.to_owned()).collect()
-    }
-
-    #[test]
-    fn strips_comments_and_string_contents() {
-        let s = strip_code("let a = \"x.iter()\"; // b.keys()\n/* c.values() */ let d = 1;");
-        assert_eq!(s[0], "let a = \"\"; ");
-        assert_eq!(s[1], " let d = 1;");
-    }
-
-    #[test]
-    fn strips_nested_block_comments_and_raw_strings() {
-        let s = strip_code("/* a /* b */ still */ code\nlet r = r#\"m.iter()\"#;");
-        assert_eq!(s[0].trim(), "code");
-        assert!(!s[1].contains("iter"));
-    }
-
-    #[test]
-    fn lifetimes_are_not_char_literals() {
-        let s = strip_code("fn f<'a>(x: &'a str) -> &'a str { x }");
-        assert!(s[0].contains("&'a str"));
-        let s2 = strip_code("let c = 'x'; let n = '\\n';");
-        assert!(!s2[0].contains('x'));
-    }
-
-    #[test]
-    fn token_matching_is_whole_word() {
-        assert!(has_token("self.occupied += 1", "occupied"));
-        assert!(!has_token("self.total_bytes = 1", "bytes"));
-        assert!(!has_token("preoccupied", "occupied"));
-    }
-
-    #[test]
-    fn map_names_include_fields_lets_and_aliases() {
-        let src = fake(
-            "x.rs",
-            "pub type RouteTable = HashMap<NodeId, Vec<PortId>>;\n\
-             struct S { pub flow_stats: HashMap<FlowId, u64>, routes: RouteTable }\n\
-             fn f() { let mut seen = HashSet::new(); }\n",
-        );
-        let names = collect_map_names(std::slice::from_ref(&src));
-        for n in ["flow_stats", "routes", "seen"] {
-            assert!(names.iter().any(|x| x == n), "missing {n} in {names:?}");
-        }
-    }
-
-    #[test]
-    fn map_iteration_is_flagged_lookup_is_not() {
-        let text = "struct S { m: HashMap<u32, u32> }\n\
-                    fn f(s: &S) { for (k, v) in s.m.iter() {} }\n\
-                    fn g(s: &S) -> Option<&u32> { s.m.get(&1) }\n\
-                    fn h(s: &S) { for k in &s.m {} }\n";
-        let rules = run("x.rs", text);
-        assert_eq!(rules, vec!["map-iter", "map-iter"]);
-    }
-
-    #[test]
-    fn allow_comment_suppresses() {
-        let text = "struct S { m: HashMap<u32, u32> }\n\
-                    // order-insensitive: summed into a scalar\n\
-                    // simlint: allow(map-iter)\n\
-                    fn f(s: &S) -> u32 { s.m.values().sum() }\n";
-        assert!(run("x.rs", text).is_empty());
-        let same_line = "struct S { m: HashMap<u32, u32> }\n\
-                         fn f(s: &S) -> u32 { s.m.values().sum() } // simlint: allow(map-iter)\n";
-        assert!(run("x.rs", same_line).is_empty());
-    }
-
-    #[test]
-    fn counter_arith_in_scope_files_only() {
-        let bad = "fn f(&mut self) { self.occupied += 1500; }\n";
-        assert_eq!(
-            run("crates/netsim/src/buffer.rs", bad),
-            vec!["counter-arith"]
-        );
-        assert!(run("crates/netsim/src/stats.rs", bad).is_empty());
-        let cast = "let q = egress_depth as f64;\n";
-        assert_eq!(
-            run("crates/netsim/src/switch.rs", cast),
-            vec!["counter-arith"]
-        );
-        let sub = "let d = free - occupied;\n";
-        assert_eq!(
-            run("crates/netsim/src/buffer.rs", sub),
-            vec!["counter-arith"]
+    if analysis.suppressed_inline > 0 || ratchet.suppressed > 0 {
+        eprintln!(
+            "simlint: {} finding(s) suppressed inline, {} by baseline",
+            analysis.suppressed_inline, ratchet.suppressed
         );
     }
-
-    #[test]
-    fn checked_and_saturating_forms_pass() {
-        let ok = "let ok = checked_accum(&mut self.queued_bytes[prio], n);\n\
-                  let t = self.ingress[port][prio].saturating_add(k);\n\
-                  let free = pool.saturating_sub(self.occupied);\n\
-                  fn occupied(&self) -> u64 { self.occupied }\n";
-        assert!(run("crates/netsim/src/buffer.rs", ok).is_empty());
+    for (rule, file, cap, cur) in &ratchet.improved {
+        eprintln!("simlint: baseline can tighten: {rule} in {file}: {cap} -> {cur}");
     }
-
-    #[test]
-    fn arrow_and_unary_minus_are_not_binary_minus() {
-        assert!(!has_binary_minus("fn occupied(&self) -> u64 {"));
-        assert!(!has_binary_minus("let x = -(q_off + 1.0);"));
-        assert!(has_binary_minus("let d = a - b;"));
-        assert!(has_binary_minus("let d = f(x) - 1;"));
+    for (rule, file) in &ratchet.stale {
+        eprintln!("simlint: stale baseline entry: {rule} in {file} (no findings)");
     }
-
-    #[test]
-    fn float_cmp_rules() {
-        let bad = "v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n";
-        assert_eq!(run("crates/fluid/src/model.rs", bad), vec!["float-cmp"]);
-        let good = "v.sort_by(|a, b| a.total_cmp(b));\n";
-        assert!(run("crates/fluid/src/model.rs", good).is_empty());
-        let eq = "if x == 0.5 { }\n";
-        assert_eq!(run("crates/netsim/src/stats.rs", eq), vec!["float-cmp"]);
-        assert!(run("crates/fluid/src/model.rs", eq).is_empty());
-    }
-
-    #[test]
-    fn hot_unwrap_scoped_to_hot_files() {
-        let bad = "let x = q.pop().unwrap();\n";
-        assert_eq!(run("crates/netsim/src/host.rs", bad), vec!["hot-unwrap"]);
-        assert_eq!(run("crates/netsim/src/event.rs", bad), vec!["hot-unwrap"]);
-        assert!(run("crates/netsim/src/network.rs", bad).is_empty());
-        let expect = "let a = self.attach.expect(\"attached\");\n";
-        assert_eq!(run("crates/netsim/src/port.rs", expect), vec!["hot-unwrap"]);
-    }
-
-    #[test]
-    fn metric_lookup_scoped_to_hot_path_and_dispatch_loop() {
-        let by_name = "let v = self.ctx.metrics.registry.counter_value(name);\n";
-        assert_eq!(
-            run("crates/netsim/src/network.rs", by_name),
-            vec!["metric-lookup"]
+    if ratchet.new.is_empty() {
+        eprintln!("simlint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "simlint: {} new finding(s) beyond baseline (run with --write-baseline only after review)",
+            ratchet.new.len()
         );
-        assert_eq!(
-            run("crates/netsim/src/switch.rs", by_name),
-            vec!["metric-lookup"]
-        );
-        // The registry itself registers by name — that's the cold path.
-        assert!(run("crates/netsim/src/telemetry/registry.rs", by_name).is_empty());
-        let register = "let id = reg.counter(\"ecn_marks\");\n";
-        assert_eq!(
-            run("crates/netsim/src/host.rs", register),
-            vec!["metric-lookup"]
-        );
-        // Handle-indexed updates are the sanctioned hot-path form.
-        let handle = "ctx.metrics.inc(ctx.metrics.h.ecn_marks);\n";
-        assert!(run("crates/netsim/src/switch.rs", handle).is_empty());
-    }
-
-    #[test]
-    fn telemetry_hot_files_are_unwrap_checked() {
-        let bad = "let x = self.rings.get_mut(i).unwrap();\n";
-        assert_eq!(
-            run("crates/netsim/src/telemetry/recorder.rs", bad),
-            vec!["hot-unwrap"]
-        );
-        assert_eq!(
-            run("crates/netsim/src/telemetry/registry.rs", bad),
-            vec!["hot-unwrap"]
-        );
-    }
-
-    #[test]
-    fn span_tracer_is_on_the_hot_path() {
-        // `Spans::set_state` runs once per flow per host event; unwraps
-        // and string-keyed metric lookups are banned there like in the
-        // rest of the per-event path.
-        let bad = "let t = self.tracks.get_mut(&flow).unwrap();\n";
-        assert_eq!(
-            run("crates/netsim/src/telemetry/spans.rs", bad),
-            vec!["hot-unwrap"]
-        );
-        let lookup = "let v = reg.counter_value(name);\n";
-        assert_eq!(
-            run("crates/netsim/src/telemetry/spans.rs", lookup),
-            vec!["metric-lookup"]
-        );
-    }
-
-    #[test]
-    fn test_code_is_exempt() {
-        let text = "fn prod() {}\n\
-                    #[cfg(test)]\n\
-                    mod tests {\n\
-                    fn f() { let x = v.pop().unwrap(); }\n\
-                    }\n";
-        assert!(run("crates/netsim/src/host.rs", text).is_empty());
-    }
-
-    #[test]
-    fn unwrap_in_stripped_strings_is_ignored() {
-        let text = "let msg = \"call .unwrap() here\";\n";
-        assert!(run("crates/netsim/src/host.rs", text).is_empty());
+        ExitCode::FAILURE
     }
 }

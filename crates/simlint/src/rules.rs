@@ -1,0 +1,675 @@
+//! The passes. Five legacy rules (map-iter, counter-arith, float-cmp,
+//! hot-unwrap, metric-lookup) reimplemented on the lexer + call-graph
+//! engine, plus the three scale-arc passes (determinism-taint, hot-alloc,
+//! shard-safety). Hot-path-scoped rules consult the computed reachable
+//! set — no hard-coded file lists — and carry an example call chain from
+//! the dispatch root in their message.
+
+use crate::callgraph::{CallGraph, FnId};
+use crate::items::ParsedFile;
+use crate::lexer::{Tok, TokKind};
+use std::collections::BTreeSet;
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name.
+    pub rule: &'static str,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable message.
+    pub msg: String,
+    /// Call chain from a dispatch root (hot-path rules only).
+    pub chain: Option<String>,
+}
+
+/// Byte/occupancy counter identifiers covered by counter-arith. The rule
+/// applies in every file that declares at least one of them as a
+/// `u64`-typed struct field (computed, not a file list).
+pub const COUNTER_TOKENS: [&str; 8] = [
+    "occupied",
+    "ingress",
+    "queued_bytes",
+    "egress_depth",
+    "bytes_since_sample",
+    "q_old",
+    "wire",
+    "free",
+];
+
+/// Map methods that iterate in unspecified order.
+const ITER_METHODS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+    "retain",
+];
+
+/// Every rule, with a one-line description (used by `--help` and docs).
+pub const RULES: [(&str, &str); 8] = [
+    (
+        "map-iter",
+        "no iteration over HashMap/HashSet (or aliases) in library code — std hash order is per-process random",
+    ),
+    (
+        "counter-arith",
+        "byte/occupancy counters use netsim::units::checked, not bare +/-/as",
+    ),
+    (
+        "float-cmp",
+        "no partial_cmp().unwrap() (NaN panic); no ==/!= against float literals in stats code",
+    ),
+    (
+        "hot-unwrap",
+        "no unwrap()/expect() in dispatch-reachable functions",
+    ),
+    (
+        "metric-lookup",
+        "no string-keyed metric registry calls in dispatch-reachable functions",
+    ),
+    (
+        "determinism-taint",
+        "no ambient nondeterminism (Instant, SystemTime, env, RandomState, pointer-identity casts) reachable from dispatch",
+    ),
+    (
+        "hot-alloc",
+        "no steady-state allocation (Vec::new, Box::new, format!, clone, collect, …) in dispatch-reachable functions",
+    ),
+    (
+        "shard-safety",
+        "inventory of shared-mutable constructs (Rc, RefCell, Cell, static mut, thread_local!) in hot files",
+    ),
+];
+
+/// Is `name` a known rule (or the `all` escape hatch)?
+pub fn is_known_rule(name: &str) -> bool {
+    name == "all" || RULES.iter().any(|(r, _)| *r == name)
+}
+
+/// Is the finding suppressed by `// simlint: allow(rule[, rule…])` on
+/// the same or the preceding raw line? Rule names match **exactly**
+/// (sharing a prefix with another rule can no longer silence it);
+/// `allow(all)` silences every rule on that line.
+pub fn allowed(raw_lines: &[String], line: u32, rule: &str) -> bool {
+    let check = |l: &str| -> bool {
+        let mut rest = l;
+        while let Some(pos) = rest.find("simlint: allow(") {
+            let inner = &rest[pos + "simlint: allow(".len()..];
+            if let Some(close) = inner.find(')') {
+                if inner[..close]
+                    .split(',')
+                    .map(str::trim)
+                    .any(|r| r == rule || r == "all")
+                {
+                    return true;
+                }
+                rest = &inner[close..];
+            } else {
+                break;
+            }
+        }
+        false
+    };
+    let idx = line as usize;
+    (idx >= 1 && raw_lines.get(idx - 1).is_some_and(|l| check(l)))
+        || (idx >= 2 && raw_lines.get(idx - 2).is_some_and(|l| check(l)))
+}
+
+/// Context shared by the passes.
+pub struct PassCtx<'a> {
+    /// All parsed files.
+    pub files: &'a [ParsedFile],
+    /// The computed call graph.
+    pub graph: &'a CallGraph,
+    /// Identifiers bound to map types anywhere in non-test code.
+    pub map_names: &'a BTreeSet<String>,
+    /// Files exempt from determinism-taint (the config layer).
+    pub config_files: &'a [String],
+}
+
+/// Collects identifiers bound to `HashMap`/`HashSet` (or an alias of
+/// them) across all non-test code: type ascriptions (`name: RouteTable`)
+/// and constructor bindings (`name = HashMap::new()`).
+pub fn collect_map_names(files: &[ParsedFile]) -> BTreeSet<String> {
+    let mut types: BTreeSet<String> = ["HashMap", "HashSet"]
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
+    for f in files {
+        for a in &f.map_aliases {
+            types.insert(a.clone());
+        }
+    }
+    let mut names = BTreeSet::new();
+    for f in files {
+        let toks = &f.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if f.test_tok[i] || t.kind != TokKind::Ident || !types.contains(&t.text) {
+                continue;
+            }
+            // Walk back over path qualifiers (`std::collections::HashMap`).
+            let mut j = i;
+            while j >= 2 && toks[j - 1].is_punct("::") && toks[j - 2].kind == TokKind::Ident {
+                j -= 2;
+            }
+            if j == 0 {
+                continue;
+            }
+            let prev = &toks[j - 1];
+            let binder = if prev.is_punct(":") || prev.is_punct("=") {
+                // `::` path segments were consumed above, so a lone `:`
+                // here is a real type ascription.
+                toks.get(j.wrapping_sub(2))
+            } else {
+                None
+            };
+            if let Some(b) = binder {
+                if b.kind == TokKind::Ident
+                    && !b.text.is_empty()
+                    && !types.contains(&b.text)
+                    && b.text != "type"
+                {
+                    names.insert(b.text.clone());
+                }
+            }
+        }
+    }
+    names
+}
+
+/// All passes, in rule order. Suppressions are applied by the caller.
+pub fn run_all(ctx: &PassCtx<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    map_iter(ctx, &mut out);
+    counter_arith(ctx, &mut out);
+    float_cmp(ctx, &mut out);
+    hot_unwrap(ctx, &mut out);
+    metric_lookup(ctx, &mut out);
+    determinism_taint(ctx, &mut out);
+    hot_alloc(ctx, &mut out);
+    shard_safety(ctx, &mut out);
+    out.sort_by(|a, b| (&a.file, a.line, a.rule, &a.msg).cmp(&(&b.file, b.line, b.rule, &b.msg)));
+    out
+}
+
+// ---- map-iter -----------------------------------------------------------
+
+fn map_iter(ctx: &PassCtx<'_>, out: &mut Vec<Finding>) {
+    for f in ctx.files {
+        let toks = &f.tokens;
+        for i in 0..toks.len() {
+            if f.test_tok[i] {
+                continue;
+            }
+            let t = &toks[i];
+            // `recv.iter()` forms.
+            if t.kind == TokKind::Ident
+                && ctx.map_names.contains(&t.text)
+                && matches!(toks.get(i + 1), Some(d) if d.is_punct("."))
+                && matches!(toks.get(i + 2), Some(m) if m.kind == TokKind::Ident
+                    && ITER_METHODS.contains(&m.text.as_str()))
+                && matches!(toks.get(i + 3), Some(p) if p.is_punct("("))
+            {
+                out.push(Finding {
+                    rule: "map-iter",
+                    file: f.rel.clone(),
+                    line: t.line,
+                    msg: format!(
+                        "`{}.{}()` iterates a HashMap/HashSet in unspecified order; \
+                         use a BTreeMap, a sorted Vec, or an insertion-order list",
+                        t.text,
+                        toks[i + 2].text
+                    ),
+                    chain: None,
+                });
+            }
+            // `for … in [&[mut]] name {` forms.
+            if t.is_ident("for") {
+                // Find `in` at bracket depth 0, then the `{` opening the body.
+                let mut j = i + 1;
+                let mut depth = 0isize;
+                let mut in_at = None;
+                while j < toks.len() && j < i + 24 {
+                    let tj = &toks[j];
+                    if tj.is_punct("(") || tj.is_punct("[") {
+                        depth += 1;
+                    } else if tj.is_punct(")") || tj.is_punct("]") {
+                        depth -= 1;
+                    } else if depth == 0 && tj.is_ident("in") {
+                        in_at = Some(j);
+                        break;
+                    }
+                    j += 1;
+                }
+                let Some(in_at) = in_at else { continue };
+                let mut k = in_at + 1;
+                depth = 0;
+                let mut body_at = None;
+                while k < toks.len() {
+                    let tk = &toks[k];
+                    if tk.is_punct("(") || tk.is_punct("[") {
+                        depth += 1;
+                    } else if tk.is_punct(")") || tk.is_punct("]") {
+                        depth -= 1;
+                    } else if depth == 0 && tk.is_punct("{") {
+                        body_at = Some(k);
+                        break;
+                    }
+                    k += 1;
+                }
+                let Some(body_at) = body_at else { continue };
+                if body_at == in_at + 1 {
+                    continue;
+                }
+                let last = &toks[body_at - 1];
+                let before = &toks[body_at - 2];
+                if last.kind == TokKind::Ident
+                    && ctx.map_names.contains(&last.text)
+                    && (before.is_punct(".")
+                        || before.is_punct("&")
+                        || before.is_ident("in")
+                        || before.is_ident("mut"))
+                {
+                    out.push(Finding {
+                        rule: "map-iter",
+                        file: f.rel.clone(),
+                        line: t.line,
+                        msg: format!(
+                            "`for .. in {}` iterates a HashMap/HashSet in unspecified order",
+                            last.text
+                        ),
+                        chain: None,
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ---- counter-arith ------------------------------------------------------
+
+fn counter_arith(ctx: &PassCtx<'_>, out: &mut Vec<Finding>) {
+    for f in ctx.files {
+        // The rule applies in files that declare a u64-typed counter field.
+        let declares = f
+            .fields
+            .iter()
+            .any(|fd| fd.is_u64 && COUNTER_TOKENS.contains(&fd.name.as_str()));
+        if !declares {
+            continue;
+        }
+        for (line, range) in line_ranges(&f.tokens) {
+            if f.test_tok[range.start] {
+                continue;
+            }
+            let toks = &f.tokens[range.clone()];
+            let touches = toks
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && COUNTER_TOKENS.contains(&t.text.as_str()));
+            if !touches {
+                continue;
+            }
+            let kind = if toks.iter().any(|t| t.is_punct("+=") || t.is_punct("-=")) {
+                Some("compound assignment")
+            } else if toks.iter().any(|t| t.is_punct("+")) {
+                Some("bare `+`")
+            } else if has_binary_minus(toks) {
+                Some("bare `-`")
+            } else if toks.iter().any(|t| t.is_ident("as")) {
+                Some("bare `as` cast")
+            } else {
+                None
+            };
+            if let Some(kind) = kind {
+                out.push(Finding {
+                    rule: "counter-arith",
+                    file: f.rel.clone(),
+                    line,
+                    msg: format!(
+                        "{kind} on a byte/occupancy counter; use netsim::units::checked \
+                         (checked_accum, checked_drain, scale_bytes, bytes_to_f64) or a \
+                         saturating_* method"
+                    ),
+                    chain: None,
+                });
+            }
+        }
+    }
+}
+
+/// `-` used as a binary operator within a line's tokens (the lexer makes
+/// `->` a separate token, so only real minus signs are seen here).
+fn has_binary_minus(toks: &[Tok]) -> bool {
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_punct("-") {
+            continue;
+        }
+        if i == 0 {
+            continue;
+        }
+        let prev = &toks[i - 1];
+        let binary = matches!(prev.kind, TokKind::Ident | TokKind::Num)
+            || prev.is_punct(")")
+            || prev.is_punct("]");
+        if binary && !prev.is_ident("return") && !prev.is_ident("as") {
+            return true;
+        }
+    }
+    false
+}
+
+// ---- float-cmp ----------------------------------------------------------
+
+fn float_cmp(ctx: &PassCtx<'_>, out: &mut Vec<Finding>) {
+    for f in ctx.files {
+        let is_stats = f.rel.ends_with("stats.rs");
+        for (line, range) in line_ranges(&f.tokens) {
+            if f.test_tok[range.start] {
+                continue;
+            }
+            let toks = &f.tokens[range.clone()];
+            let has_pc = toks.iter().any(|t| t.is_ident("partial_cmp"));
+            let has_unwrap = toks
+                .iter()
+                .any(|t| t.is_ident("unwrap") || t.is_ident("expect"));
+            if has_pc && has_unwrap {
+                out.push(Finding {
+                    rule: "float-cmp",
+                    file: f.rel.clone(),
+                    line,
+                    msg: "`partial_cmp().unwrap()` panics on NaN; use `total_cmp`".into(),
+                    chain: None,
+                });
+            }
+            if is_stats {
+                for (i, t) in toks.iter().enumerate() {
+                    if !(t.is_punct("==") || t.is_punct("!=")) {
+                        continue;
+                    }
+                    let float_side = [i.checked_sub(1), Some(i + 1)]
+                        .into_iter()
+                        .flatten()
+                        .filter_map(|k| toks.get(k))
+                        .any(|n| n.is_float());
+                    if float_side {
+                        out.push(Finding {
+                            rule: "float-cmp",
+                            file: f.rel.clone(),
+                            line,
+                            msg: "exact equality against a float literal in stats code; \
+                                  use an epsilon or integer domain"
+                                .into(),
+                            chain: None,
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---- hot-path passes ----------------------------------------------------
+
+/// Iterates all hot, non-test functions with their file and chain.
+fn for_hot_fns(ctx: &PassCtx<'_>, mut visit: impl FnMut(&ParsedFile, FnId, &str)) {
+    for &id in &ctx.graph.hot {
+        let file = &ctx.files[id.0];
+        let f = &file.fns[id.1];
+        if f.is_test {
+            continue;
+        }
+        let chain = ctx.graph.chain(ctx.files, id);
+        visit(file, id, &chain);
+    }
+}
+
+fn hot_unwrap(ctx: &PassCtx<'_>, out: &mut Vec<Finding>) {
+    for_hot_fns(ctx, |file, id, chain| {
+        let body = &file.fns[id.1].body;
+        let toks = &file.tokens;
+        for i in body.clone() {
+            if !toks[i].is_punct(".") {
+                continue;
+            }
+            let Some(m) = toks.get(i + 1) else { continue };
+            if (m.is_ident("unwrap") || m.is_ident("expect"))
+                && matches!(toks.get(i + 2), Some(p) if p.is_punct("("))
+            {
+                out.push(Finding {
+                    rule: "hot-unwrap",
+                    file: file.rel.clone(),
+                    line: m.line,
+                    msg: "`unwrap()`/`expect()` in a dispatch-reachable function; use \
+                          let-else with a degrade path (drop + debug_assert)"
+                        .into(),
+                    chain: Some(chain.to_owned()),
+                });
+            }
+        }
+    });
+}
+
+fn metric_lookup(ctx: &PassCtx<'_>, out: &mut Vec<Finding>) {
+    for_hot_fns(ctx, |file, id, chain| {
+        let body = &file.fns[id.1].body;
+        let toks = &file.tokens;
+        for i in body.clone() {
+            if !toks[i].is_punct(".") {
+                continue;
+            }
+            let Some(m) = toks.get(i + 1) else { continue };
+            if m.kind != TokKind::Ident {
+                continue;
+            }
+            let registration = ["counter", "gauge", "histogram"].contains(&m.text.as_str())
+                && matches!(toks.get(i + 2), Some(p) if p.is_punct("("))
+                && matches!(toks.get(i + 3), Some(s) if s.kind == TokKind::Str);
+            let by_name = ["counter_value", "gauge_value", "hist_by_name"]
+                .contains(&m.text.as_str())
+                && matches!(toks.get(i + 2), Some(p) if p.is_punct("("));
+            if registration || by_name {
+                out.push(Finding {
+                    rule: "metric-lookup",
+                    file: file.rel.clone(),
+                    line: m.line,
+                    msg: format!(
+                        "`.{}(…)` string-keyed metric access in a dispatch-reachable \
+                         function; resolve a CounterId/GaugeId/HistId handle at \
+                         registration and index through it",
+                        m.text
+                    ),
+                    chain: Some(chain.to_owned()),
+                });
+            }
+        }
+    });
+}
+
+fn determinism_taint(ctx: &PassCtx<'_>, out: &mut Vec<Finding>) {
+    for_hot_fns(ctx, |file, id, chain| {
+        if ctx.config_files.iter().any(|c| c == &file.rel) {
+            return;
+        }
+        let body = &file.fns[id.1].body;
+        let toks = &file.tokens;
+        for i in body.clone() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let what: Option<&str> = match t.text.as_str() {
+                "Instant" => Some("wall-clock `Instant` read"),
+                "SystemTime" => Some("wall-clock `SystemTime` read"),
+                "RandomState" | "DefaultHasher" => Some("per-process randomized hasher"),
+                "FxHashMap" | "FxHasher" | "fxhash" => Some("address-sensitive fxhash"),
+                "env" if matches!(toks.get(i + 1), Some(n) if n.is_punct("::")) => {
+                    Some("process-environment read")
+                }
+                "thread"
+                    if matches!(toks.get(i + 1), Some(n) if n.is_punct("::"))
+                        && matches!(toks.get(i + 2), Some(m) if m.is_ident("current")
+                            || m.is_ident("available_parallelism")
+                            || m.is_ident("sleep")
+                            || m.is_ident("spawn")) =>
+                {
+                    Some("thread-identity/scheduling dependence")
+                }
+                "as" if matches!(toks.get(i + 1), Some(s) if s.is_punct("*"))
+                    && matches!(toks.get(i + 2), Some(c) if c.is_ident("const") || c.is_ident("mut")) =>
+                {
+                    Some("pointer-identity cast (addresses as values)")
+                }
+                _ => None,
+            };
+            if let Some(what) = what {
+                out.push(Finding {
+                    rule: "determinism-taint",
+                    file: file.rel.clone(),
+                    line: t.line,
+                    msg: format!(
+                        "{what} reachable from the dispatch loop breaks \
+                         byte-identical replay (run = f(config, seed))"
+                    ),
+                    chain: Some(chain.to_owned()),
+                });
+            }
+        }
+    });
+}
+
+fn hot_alloc(ctx: &PassCtx<'_>, out: &mut Vec<Finding>) {
+    const ALLOC_TYPES: [&str; 8] = [
+        "Vec", "VecDeque", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "String", "Box",
+    ];
+    const ALLOC_MACROS: [&str; 4] = ["vec", "format", "println", "eprintln"];
+    const ALLOC_METHODS: [&str; 5] = ["to_string", "to_owned", "to_vec", "collect", "clone"];
+    for_hot_fns(ctx, |file, id, chain| {
+        let body = &file.fns[id.1].body;
+        let toks = &file.tokens;
+        for i in body.clone() {
+            let t = &toks[i];
+            let what: Option<String> = if t.kind == TokKind::Ident
+                && ALLOC_TYPES.contains(&t.text.as_str())
+                && matches!(toks.get(i + 1), Some(n) if n.is_punct("::"))
+                && matches!(toks.get(i + 2), Some(m) if m.is_ident("new")
+                    || m.is_ident("with_capacity")
+                    || m.is_ident("from"))
+            {
+                Some(format!("`{}::{}`", t.text, toks[i + 2].text))
+            } else if t.kind == TokKind::Ident
+                && ALLOC_MACROS.contains(&t.text.as_str())
+                && matches!(toks.get(i + 1), Some(n) if n.is_punct("!"))
+            {
+                Some(format!("`{}!`", t.text))
+            } else if t.is_punct(".")
+                && matches!(toks.get(i + 1), Some(m) if m.kind == TokKind::Ident
+                    && ALLOC_METHODS.contains(&m.text.as_str()))
+                && matches!(toks.get(i + 2), Some(p) if p.is_punct("(") || p.is_punct("::"))
+            {
+                Some(format!("`.{}()`", toks[i + 1].text))
+            } else {
+                None
+            };
+            if let Some(what) = what {
+                let line = if t.is_punct(".") {
+                    toks[i + 1].line
+                } else {
+                    t.line
+                };
+                out.push(Finding {
+                    rule: "hot-alloc",
+                    file: file.rel.clone(),
+                    line,
+                    msg: format!(
+                        "{what} in a dispatch-reachable function allocates in steady \
+                         state; reuse a scratch buffer, reserve capacity up front, or \
+                         move the work off the hot path"
+                    ),
+                    chain: Some(chain.to_owned()),
+                });
+            }
+        }
+    });
+}
+
+fn shard_safety(ctx: &PassCtx<'_>, out: &mut Vec<Finding>) {
+    // Whole hot *files* (module-level statics live outside any fn).
+    let hot_files: BTreeSet<&str> = ctx.graph.hot_files.iter().map(String::as_str).collect();
+    for f in ctx.files {
+        if !hot_files.contains(f.rel.as_str()) {
+            continue;
+        }
+        let toks = &f.tokens;
+        // `use` lines only import names; the construct is flagged where
+        // it is declared or stored.
+        let use_lines: BTreeSet<u32> = line_ranges(toks)
+            .into_iter()
+            .filter(|(_, r)| toks[r.start].is_ident("use"))
+            .map(|(l, _)| l)
+            .collect();
+        for i in 0..toks.len() {
+            if f.test_tok[i] {
+                continue;
+            }
+            let t = &toks[i];
+            if t.kind != TokKind::Ident || use_lines.contains(&t.line) {
+                continue;
+            }
+            let what: Option<&str> = match t.text.as_str() {
+                "Rc" if followed_by_type_use(toks, i) => Some("`Rc` (non-atomic shared ownership)"),
+                "RefCell" => Some("`RefCell` (unsynchronized interior mutability)"),
+                "UnsafeCell" => Some("`UnsafeCell`"),
+                "Cell" if followed_by_type_use(toks, i) => {
+                    Some("`Cell` (unsynchronized interior mutability)")
+                }
+                "static" if matches!(toks.get(i + 1), Some(m) if m.is_ident("mut")) => {
+                    Some("`static mut` (global mutable state)")
+                }
+                "thread_local" if matches!(toks.get(i + 1), Some(n) if n.is_punct("!")) => {
+                    Some("`thread_local!` (per-worker divergence)")
+                }
+                _ => None,
+            };
+            if let Some(what) = what {
+                out.push(Finding {
+                    rule: "shard-safety",
+                    file: f.rel.clone(),
+                    line: t.line,
+                    msg: format!(
+                        "{what} in a hot-path module would poison deterministic \
+                         sharded execution (ROADMAP 2b); use per-shard state or a \
+                         message-passing boundary"
+                    ),
+                    chain: None,
+                });
+            }
+        }
+    }
+}
+
+/// `Rc`/`Cell` only count when used as a type or constructor (`Rc<`,
+/// `Rc::new`) — a local variable merely *named* `rc` stays an `Ident`
+/// with different text, but an enum variant `Cell` in a match arm should
+/// not fire.
+fn followed_by_type_use(toks: &[Tok], i: usize) -> bool {
+    matches!(toks.get(i + 1), Some(n) if n.is_punct("<") || n.is_punct("::"))
+}
+
+/// Groups a token stream into per-line index ranges.
+fn line_ranges(toks: &[Tok]) -> Vec<(u32, std::ops::Range<usize>)> {
+    let mut out: Vec<(u32, std::ops::Range<usize>)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match out.last_mut() {
+            Some((line, range)) if *line == t.line => range.end = i + 1,
+            _ => out.push((t.line, i..i + 1)),
+        }
+    }
+    out
+}

@@ -1,0 +1,18 @@
+pub struct Buffer {
+    pub occupied: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn t(b: &mut super::Buffer) {
+        b.occupied += 1;
+    }
+}
+
+// The test exemption ends at the test module's closing brace: this
+// module is production code again.
+mod after {
+    pub fn prod(b: &mut super::Buffer) {
+        b.occupied += 1;
+    }
+}

@@ -1,0 +1,13 @@
+pub struct Buffer {
+    occupied: u64,
+}
+
+impl Buffer {
+    pub fn admit(&mut self, n: u64) {
+        self.occupied += n;
+    }
+
+    pub fn drain(&mut self, n: u64) {
+        self.occupied = self.occupied - n;
+    }
+}

@@ -1,0 +1,21 @@
+pub struct Buffer {
+    occupied: u64,
+}
+
+impl Buffer {
+    pub fn admit(&mut self, n: u64) {
+        self.occupied = checked_accum(self.occupied, n);
+    }
+
+    pub fn drain(&mut self, n: u64) {
+        self.occupied = checked_drain(self.occupied, n);
+    }
+}
+
+fn checked_accum(a: u64, b: u64) -> u64 {
+    a.checked_add(b).expect("counter overflow")
+}
+
+fn checked_drain(a: u64, b: u64) -> u64 {
+    a.checked_sub(b).expect("counter underflow")
+}

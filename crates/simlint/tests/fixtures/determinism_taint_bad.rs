@@ -1,0 +1,12 @@
+pub struct Network;
+
+impl Network {
+    pub fn run_until(&mut self) {
+        self.tick();
+    }
+
+    fn tick(&mut self) {
+        let _started = std::time::Instant::now();
+        let _threads = std::env::var("REPRO_THREADS");
+    }
+}

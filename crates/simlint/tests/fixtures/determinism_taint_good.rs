@@ -1,0 +1,23 @@
+pub struct Network {
+    now: u64,
+}
+
+impl Network {
+    pub fn run_until(&mut self) {
+        self.tick();
+    }
+
+    fn tick(&mut self) {
+        // Virtual clock only: runs are a pure function of config + seed.
+        self.now += 1;
+    }
+}
+
+/// Cold configuration code (never dispatch-reachable) may read the
+/// environment.
+pub fn thread_count() -> usize {
+    std::env::var("REPRO_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

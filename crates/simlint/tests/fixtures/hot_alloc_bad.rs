@@ -1,0 +1,19 @@
+pub struct Network {
+    cfg: Cfg,
+}
+
+pub struct Cfg;
+
+impl Network {
+    pub fn run_until(&mut self) {
+        self.burn();
+    }
+
+    fn burn(&mut self) {
+        let _v: Vec<u32> = Vec::new();
+        let _s = format!("event {}", 1);
+        let _b = Box::new(1u32);
+        let _c = self.cfg.clone();
+        let _ids: Vec<u32> = [1u32, 2].iter().copied().collect::<Vec<u32>>();
+    }
+}

@@ -1,0 +1,21 @@
+pub struct Network {
+    q: Queue,
+}
+
+pub struct Queue;
+
+impl Queue {
+    pub fn head(&self) -> Option<u32> {
+        None
+    }
+}
+
+impl Network {
+    pub fn run_until(&mut self) {
+        self.step();
+    }
+
+    fn step(&mut self) {
+        let _ = self.q.head().unwrap();
+    }
+}

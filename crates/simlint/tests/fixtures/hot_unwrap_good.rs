@@ -1,0 +1,29 @@
+pub struct Network {
+    q: Queue,
+}
+
+pub struct Queue;
+
+impl Queue {
+    pub fn head(&self) -> Option<u32> {
+        None
+    }
+}
+
+impl Network {
+    pub fn run_until(&mut self) {
+        self.step();
+    }
+
+    fn step(&mut self) {
+        // Degrade path instead of panicking on the hot path.
+        let Some(_v) = self.q.head() else {
+            return;
+        };
+    }
+}
+
+/// Cold code (not dispatch-reachable) may unwrap.
+pub fn cli_parse(arg: Option<u32>) -> u32 {
+    arg.unwrap()
+}

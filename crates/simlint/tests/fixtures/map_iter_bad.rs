@@ -1,0 +1,21 @@
+use std::collections::HashMap;
+
+pub type RouteTable = HashMap<u32, u32>;
+
+pub struct Tables {
+    routes: RouteTable,
+    index: HashMap<u32, u32>,
+}
+
+impl Tables {
+    pub fn sum(&self) -> u32 {
+        let mut total = 0;
+        for (_k, v) in self.routes.iter() {
+            total += v;
+        }
+        for _v in &self.index {
+            total += 1;
+        }
+        total
+    }
+}

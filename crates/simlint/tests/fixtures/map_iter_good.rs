@@ -1,0 +1,19 @@
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Tables {
+    routes: BTreeMap<u32, u32>,
+    lookup: HashMap<u32, u32>,
+}
+
+impl Tables {
+    pub fn sum(&self) -> u32 {
+        // BTreeMap iteration is ordered — fine.
+        let mut total = 0;
+        for (_k, v) in self.routes.iter() {
+            total += v;
+        }
+        // Point lookups on a HashMap are fine; only iteration is banned.
+        total += self.lookup.get(&1).copied().unwrap_or(0);
+        total
+    }
+}

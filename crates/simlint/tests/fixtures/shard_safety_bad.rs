@@ -1,0 +1,13 @@
+pub static mut EVENT_COUNT: u64 = 0;
+
+thread_local! {
+    static SCRATCH: u64 = 0;
+}
+
+pub struct Network {
+    shared: std::rc::Rc<std::cell::RefCell<u64>>,
+}
+
+impl Network {
+    pub fn run_until(&mut self) {}
+}

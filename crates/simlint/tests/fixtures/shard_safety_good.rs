@@ -1,0 +1,10 @@
+/// Per-shard state is owned, not shared: no Rc/RefCell/static mut.
+pub struct Network {
+    count: u64,
+}
+
+impl Network {
+    pub fn run_until(&mut self) {
+        self.count += 1;
+    }
+}

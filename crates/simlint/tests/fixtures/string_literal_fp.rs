@@ -1,0 +1,17 @@
+//! Needles inside string literals, raw strings, and comments must never
+//! fire: the lexer makes literal contents opaque.
+
+pub struct Network;
+
+impl Network {
+    pub fn run_until(&mut self) {
+        // Comment bait: .unwrap() and Instant::now() and occupied += 1
+        let _doc = "call .unwrap() then .counter(\"drops\") and occupied += 1";
+        let _raw = r#"
+            Instant::now() inside a raw string
+            for (_k, v) in routes.iter() {}
+            static mut GLOBAL: u64 = 0;
+            format!("allocation bait")
+        "#;
+    }
+}

@@ -1,0 +1,15 @@
+pub struct Buffer {
+    occupied: u64,
+}
+
+impl Buffer {
+    pub fn f(&mut self) {
+        self.occupied += 1; // simlint: allow(counter-arith)
+        // simlint: allow(counter)
+        self.occupied += 2;
+        self.occupied += 4; // simlint: allow(map-iter)
+        self.occupied += 3; // simlint: allow(all)
+        // simlint: allow(map-iter, counter-arith)
+        self.occupied += 5;
+    }
+}

@@ -1,0 +1,66 @@
+//! Ratchet behavior end-to-end: a baselined finding is tolerated, a
+//! deliberately introduced finding fails, counts only go down.
+
+use simlint::{analyze_sources, Baseline, Config};
+
+const CLEANISH: &str = "pub struct Buffer { occupied: u64 }\n\
+    impl Buffer { pub fn admit(&mut self, n: u64) { self.occupied += n; } }\n";
+
+const REGRESSED: &str = "pub struct Buffer { occupied: u64 }\n\
+    impl Buffer {\n\
+        pub fn admit(&mut self, n: u64) { self.occupied += n; }\n\
+        pub fn leak(&mut self, n: u64) { self.occupied += n; }\n\
+    }\n";
+
+fn baseline_for(src: &str) -> Baseline {
+    let a = analyze_sources(&[("buf.rs".to_owned(), src.to_owned())], &Config::default());
+    Baseline::covering(&a.findings, &Baseline::default())
+}
+
+#[test]
+fn baselined_finding_is_tolerated() {
+    let baseline = baseline_for(CLEANISH);
+    let a = analyze_sources(
+        &[("buf.rs".to_owned(), CLEANISH.to_owned())],
+        &Config::default(),
+    );
+    let r = baseline.ratchet(&a.findings);
+    assert!(r.new.is_empty(), "{:#?}", r.new);
+    assert_eq!(r.suppressed, 1);
+}
+
+#[test]
+fn introduced_finding_trips_the_ratchet() {
+    let baseline = baseline_for(CLEANISH);
+    let a = analyze_sources(
+        &[("buf.rs".to_owned(), REGRESSED.to_owned())],
+        &Config::default(),
+    );
+    let r = baseline.ratchet(&a.findings);
+    assert!(
+        !r.new.is_empty(),
+        "a second counter-arith finding in the same file must fail CI"
+    );
+}
+
+#[test]
+fn fixed_finding_reports_a_tightening_opportunity() {
+    let baseline = baseline_for(REGRESSED);
+    let a = analyze_sources(
+        &[("buf.rs".to_owned(), CLEANISH.to_owned())],
+        &Config::default(),
+    );
+    let r = baseline.ratchet(&a.findings);
+    assert!(r.new.is_empty());
+    assert_eq!(r.improved.len(), 1, "{:#?}", r.improved);
+    assert_eq!(r.improved[0].2, 2, "baselined count");
+    assert_eq!(r.improved[0].3, 1, "current count");
+}
+
+#[test]
+fn baseline_roundtrips_through_json() {
+    let baseline = baseline_for(REGRESSED);
+    let text = baseline.to_json();
+    let back = Baseline::from_json(&text).expect("parse own output");
+    assert_eq!(back.to_json(), text, "emission is byte-stable");
+}

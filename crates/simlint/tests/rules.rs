@@ -1,0 +1,274 @@
+//! Fixture-based rule tests: every rule has a bad fixture it fires on
+//! and a good fixture it stays silent on, plus false-positive fixtures
+//! for string/raw-string literals, suppression scoping, and
+//! `#[cfg(test)]` region tracking.
+
+use simlint::{analyze_sources, Analysis, Config};
+
+fn analyze_one(rel: &str, src: &str) -> Analysis {
+    analyze_sources(&[(rel.to_owned(), src.to_owned())], &Config::default())
+}
+
+fn rules_fired(a: &Analysis) -> Vec<&'static str> {
+    let mut v: Vec<&'static str> = a.findings.iter().map(|f| f.rule).collect();
+    v.sort();
+    v.dedup();
+    v
+}
+
+#[test]
+fn map_iter_fires_on_bad_and_not_on_good() {
+    let bad = analyze_one("map_iter_bad.rs", include_str!("fixtures/map_iter_bad.rs"));
+    assert_eq!(rules_fired(&bad), vec!["map-iter"], "{:#?}", bad.findings);
+    assert_eq!(bad.findings.len(), 2, "method form + for-in form");
+
+    let good = analyze_one(
+        "map_iter_good.rs",
+        include_str!("fixtures/map_iter_good.rs"),
+    );
+    assert!(good.findings.is_empty(), "{:#?}", good.findings);
+}
+
+#[test]
+fn map_iter_sees_through_type_aliases() {
+    let bad = analyze_one("map_iter_bad.rs", include_str!("fixtures/map_iter_bad.rs"));
+    // The `routes` receiver is typed via the `RouteTable = HashMap` alias.
+    assert!(
+        bad.findings.iter().any(|f| f.msg.contains("routes")),
+        "{:#?}",
+        bad.findings
+    );
+}
+
+#[test]
+fn counter_arith_fires_on_bad_and_not_on_good() {
+    let bad = analyze_one(
+        "counter_arith_bad.rs",
+        include_str!("fixtures/counter_arith_bad.rs"),
+    );
+    assert_eq!(
+        rules_fired(&bad),
+        vec!["counter-arith"],
+        "{:#?}",
+        bad.findings
+    );
+    assert_eq!(bad.findings.len(), 2, "+= and bare -");
+
+    let good = analyze_one(
+        "counter_arith_good.rs",
+        include_str!("fixtures/counter_arith_good.rs"),
+    );
+    assert!(good.findings.is_empty(), "{:#?}", good.findings);
+}
+
+#[test]
+fn counter_arith_scope_is_computed_from_field_decls() {
+    // Same tokens, but no u64 counter field declared: out of scope.
+    let a = analyze_one(
+        "free.rs",
+        "pub fn f(occupied: u32) -> u32 { occupied + 1 }\n",
+    );
+    assert!(a.findings.is_empty(), "{:#?}", a.findings);
+}
+
+#[test]
+fn float_cmp_fires_on_bad_and_not_on_good() {
+    // Stats-file scoping comes from the path, not the fixture name.
+    let bad = analyze_one(
+        "crates/netsim/src/stats.rs",
+        include_str!("fixtures/float_cmp_bad.rs"),
+    );
+    assert_eq!(rules_fired(&bad), vec!["float-cmp"], "{:#?}", bad.findings);
+    assert_eq!(bad.findings.len(), 2, "partial_cmp().unwrap() + literal ==");
+
+    let good = analyze_one(
+        "crates/netsim/src/stats.rs",
+        include_str!("fixtures/float_cmp_good.rs"),
+    );
+    assert!(good.findings.is_empty(), "{:#?}", good.findings);
+
+    // Outside stats code only the partial_cmp().unwrap() half applies.
+    let elsewhere = analyze_one(
+        "crates/netsim/src/other.rs",
+        include_str!("fixtures/float_cmp_bad.rs"),
+    );
+    assert_eq!(elsewhere.findings.len(), 1, "{:#?}", elsewhere.findings);
+}
+
+#[test]
+fn hot_unwrap_fires_on_bad_and_not_on_good() {
+    let bad = analyze_one(
+        "hot_unwrap_bad.rs",
+        include_str!("fixtures/hot_unwrap_bad.rs"),
+    );
+    assert_eq!(rules_fired(&bad), vec!["hot-unwrap"], "{:#?}", bad.findings);
+    let f = &bad.findings[0];
+    assert!(
+        f.chain
+            .as_deref()
+            .unwrap_or("")
+            .starts_with("Network::run_until"),
+        "chain should start at the root: {:?}",
+        f.chain
+    );
+
+    let good = analyze_one(
+        "hot_unwrap_good.rs",
+        include_str!("fixtures/hot_unwrap_good.rs"),
+    );
+    assert!(
+        good.findings.is_empty(),
+        "cold unwrap + hot let-else must be clean: {:#?}",
+        good.findings
+    );
+}
+
+#[test]
+fn metric_lookup_fires_on_bad_and_not_on_good() {
+    let bad = analyze_one(
+        "metric_lookup_bad.rs",
+        include_str!("fixtures/metric_lookup_bad.rs"),
+    );
+    assert_eq!(
+        rules_fired(&bad),
+        vec!["metric-lookup"],
+        "{:#?}",
+        bad.findings
+    );
+    assert_eq!(bad.findings.len(), 2, "registration form + by-name form");
+
+    let good = analyze_one(
+        "metric_lookup_good.rs",
+        include_str!("fixtures/metric_lookup_good.rs"),
+    );
+    assert!(
+        good.findings.is_empty(),
+        "handle access + cold registration must be clean: {:#?}",
+        good.findings
+    );
+}
+
+#[test]
+fn determinism_taint_fires_with_call_chain() {
+    let bad = analyze_one(
+        "determinism_taint_bad.rs",
+        include_str!("fixtures/determinism_taint_bad.rs"),
+    );
+    assert_eq!(
+        rules_fired(&bad),
+        vec!["determinism-taint"],
+        "{:#?}",
+        bad.findings
+    );
+    assert_eq!(bad.findings.len(), 2, "Instant + env read");
+    for f in &bad.findings {
+        assert_eq!(
+            f.chain.as_deref(),
+            Some("Network::run_until → Network::tick"),
+            "{f:#?}"
+        );
+    }
+
+    let good = analyze_one(
+        "determinism_taint_good.rs",
+        include_str!("fixtures/determinism_taint_good.rs"),
+    );
+    assert!(
+        good.findings.is_empty(),
+        "virtual clock + cold env read must be clean: {:#?}",
+        good.findings
+    );
+}
+
+#[test]
+fn hot_alloc_fires_on_bad_and_not_on_good() {
+    let bad = analyze_one(
+        "hot_alloc_bad.rs",
+        include_str!("fixtures/hot_alloc_bad.rs"),
+    );
+    assert_eq!(rules_fired(&bad), vec!["hot-alloc"], "{:#?}", bad.findings);
+    let msgs: Vec<&str> = bad.findings.iter().map(|f| f.msg.as_str()).collect();
+    for needle in ["Vec::new", "format!", "Box::new", ".clone()", ".collect()"] {
+        assert!(
+            msgs.iter().any(|m| m.contains(needle)),
+            "missing {needle}: {msgs:#?}"
+        );
+    }
+
+    let good = analyze_one(
+        "hot_alloc_good.rs",
+        include_str!("fixtures/hot_alloc_good.rs"),
+    );
+    assert!(
+        good.findings.is_empty(),
+        "scratch reuse + cold setup must be clean: {:#?}",
+        good.findings
+    );
+}
+
+#[test]
+fn shard_safety_inventories_shared_state() {
+    let bad = analyze_one(
+        "shard_safety_bad.rs",
+        include_str!("fixtures/shard_safety_bad.rs"),
+    );
+    assert_eq!(
+        rules_fired(&bad),
+        vec!["shard-safety"],
+        "{:#?}",
+        bad.findings
+    );
+    let msgs: Vec<&str> = bad.findings.iter().map(|f| f.msg.as_str()).collect();
+    for needle in ["static mut", "thread_local!", "`Rc`", "`RefCell`"] {
+        assert!(
+            msgs.iter().any(|m| m.contains(needle)),
+            "missing {needle}: {msgs:#?}"
+        );
+    }
+
+    let good = analyze_one(
+        "shard_safety_good.rs",
+        include_str!("fixtures/shard_safety_good.rs"),
+    );
+    assert!(good.findings.is_empty(), "{:#?}", good.findings);
+}
+
+#[test]
+fn string_and_raw_string_literals_cannot_false_positive() {
+    let a = analyze_one(
+        "string_literal_fp.rs",
+        include_str!("fixtures/string_literal_fp.rs"),
+    );
+    assert!(
+        a.findings.is_empty(),
+        "literal contents are opaque to every rule: {:#?}",
+        a.findings
+    );
+}
+
+#[test]
+fn suppression_matches_rule_names_exactly() {
+    let a = analyze_one(
+        "suppress_scoping.rs",
+        include_str!("fixtures/suppress_scoping.rs"),
+    );
+    // += 2 (prefix "counter" no longer matches) and += 4 (wrong rule)
+    // survive; += 1 (exact), += 3 (all), += 5 (comma list) are allowed.
+    assert_eq!(a.findings.len(), 2, "{:#?}", a.findings);
+    assert_eq!(a.suppressed_inline, 3);
+    let lines: Vec<u32> = a.findings.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![9, 10]);
+}
+
+#[test]
+fn cfg_test_exemption_ends_at_module_close() {
+    let a = analyze_one(
+        "cfg_test_scoping.rs",
+        include_str!("fixtures/cfg_test_scoping.rs"),
+    );
+    assert_eq!(a.findings.len(), 1, "{:#?}", a.findings);
+    assert_eq!(
+        a.findings[0].line, 16,
+        "only the post-test-module production code fires"
+    );
+}

@@ -1,0 +1,108 @@
+//! Whole-workspace checks: the computed hot set covers the legacy
+//! hard-coded lists, the checked-in baseline covers every finding, and
+//! JSON output is byte-stable.
+
+use simlint::{analyze_sources, collect_workspace_sources, render_report};
+use simlint::{Baseline, Config};
+use std::path::PathBuf;
+
+/// The hot-file list the pre-engine scanner hard-coded. The computed
+/// reachability set must remain a superset: losing any of these files
+/// would silently disable hot-path rules where they used to apply.
+const LEGACY_HOT_FILES: [&str; 9] = [
+    "crates/netsim/src/event.rs",
+    "crates/netsim/src/slab.rs",
+    "crates/netsim/src/host.rs",
+    "crates/netsim/src/switch.rs",
+    "crates/netsim/src/port.rs",
+    "crates/netsim/src/faults.rs",
+    "crates/netsim/src/telemetry/registry.rs",
+    "crates/netsim/src/telemetry/recorder.rs",
+    "crates/netsim/src/telemetry/spans.rs",
+];
+
+/// Likewise for the legacy metric-lookup file list.
+const LEGACY_METRIC_FILES: [&str; 8] = [
+    "crates/netsim/src/event.rs",
+    "crates/netsim/src/slab.rs",
+    "crates/netsim/src/host.rs",
+    "crates/netsim/src/switch.rs",
+    "crates/netsim/src/port.rs",
+    "crates/netsim/src/faults.rs",
+    "crates/netsim/src/network.rs",
+    "crates/netsim/src/telemetry/spans.rs",
+];
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn computed_hot_set_covers_legacy_lists() {
+    let sources = collect_workspace_sources(&workspace_root()).expect("collect");
+    let a = analyze_sources(&sources, &Config::default());
+    for legacy in LEGACY_HOT_FILES.iter().chain(LEGACY_METRIC_FILES.iter()) {
+        assert!(
+            a.hot_files.iter().any(|f| f == legacy),
+            "computed hot set lost legacy hot file {legacy}; hot set: {:#?}",
+            a.hot_files
+        );
+    }
+}
+
+#[test]
+fn workspace_is_clean_under_the_checked_in_baseline() {
+    let root = workspace_root();
+    let sources = collect_workspace_sources(&root).expect("collect");
+    let a = analyze_sources(&sources, &Config::default());
+    let baseline_text = std::fs::read_to_string(root.join("simlint_baseline.json"))
+        .expect("simlint_baseline.json is checked in at the workspace root");
+    let baseline = Baseline::from_json(&baseline_text).expect("baseline parses");
+    let r = baseline.ratchet(&a.findings);
+    assert!(
+        r.new.is_empty(),
+        "unsuppressed findings beyond baseline:\n{:#?}",
+        r.new
+    );
+    // Every baseline entry carries a real justification.
+    for e in &baseline.entries {
+        assert!(
+            !e.justification.is_empty() && e.justification != "unreviewed",
+            "baseline entry {}/{} needs a justification",
+            e.rule,
+            e.file
+        );
+    }
+}
+
+#[test]
+fn json_report_is_byte_stable_across_runs() {
+    let root = workspace_root();
+    let sources = collect_workspace_sources(&root).expect("collect");
+    let run = || {
+        let a = analyze_sources(&sources, &Config::default());
+        let r = Baseline::default().ratchet(&a.findings);
+        render_report(&a, &r)
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "report must be byte-identical across runs");
+    assert!(first.contains("\"schema\": \"simlint-v2\""));
+}
+
+#[test]
+fn shard_report_lists_ctx_threading_functions() {
+    let sources = collect_workspace_sources(&workspace_root()).expect("collect");
+    let a = analyze_sources(&sources, &Config::default());
+    let report = a.shard_report.pretty();
+    // The dispatch loop threads &mut Ctx through node handlers — the
+    // sharding work-list must see it.
+    assert!(
+        report.contains("ctx_mut_fns"),
+        "shard report missing ctx_mut_fns: {report}"
+    );
+    assert!(
+        report.contains("Host::receive"),
+        "Host::receive threads &mut Ctx: {report}"
+    );
+}
