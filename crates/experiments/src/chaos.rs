@@ -1,0 +1,273 @@
+//! `repro chaos` — the chaos campaign: randomized fault scenarios with
+//! convergence auditing, automatic case shrinking, and replayable repro
+//! files.
+//!
+//! ```text
+//! repro chaos [--seed N] [--cases N] [--quick] [--out DIR]
+//! repro chaos --replay FILE
+//! ```
+//!
+//! A campaign generates `--cases` scenarios from `--seed` (topology,
+//! workload, CC scheme, fault schedule — see `netsim::chaos`), runs them
+//! in parallel via [`runner::par_map`], and audits each for post-fault
+//! convergence. Every failing case is shrunk to a minimal reproduction
+//! and written as `CHAOS_REPRO_<seed>.json` under `--out` (default
+//! `chaos_out/`); `--replay` re-runs such a file bit-for-bit.
+//!
+//! The campaign summary on stdout is deterministic: results are emitted
+//! in case order and contain only simulation-derived values, so the
+//! bytes are identical across `REPRO_THREADS` settings.
+
+use std::path::{Path, PathBuf};
+
+use baselines::dctcp::DctcpParams;
+use baselines::timely::TimelyParams;
+use netsim::chaos::{
+    chaos_host_config, generate_case, run_case, shrink_case, CaseReport, CcName, ChaosCase,
+};
+use netsim::host::HostConfig;
+use netsim::switch::SwitchConfig;
+use netsim::telemetry::Json;
+
+use crate::common::CcChoice;
+use crate::runner;
+
+/// Maps a case's scheme name to a configured [`CcChoice`].
+fn choice_for(cc: CcName) -> CcChoice {
+    match cc {
+        CcName::None => CcChoice::None,
+        CcName::Dcqcn => CcChoice::dcqcn_paper(),
+        CcName::Dctcp => CcChoice::Dctcp(DctcpParams::default_40g()),
+        CcName::Timely => CcChoice::Timely(TimelyParams::default_40g()),
+    }
+}
+
+/// The scheme's host config with the chaos executor's recovery timing
+/// (short RTO, capped backoff) overlaid, so the settling window always
+/// covers the worst-case retry gap.
+fn host_config_for(cc: CcName) -> HostConfig {
+    let timing = chaos_host_config();
+    HostConfig {
+        rto: timing.rto,
+        rto_backoff_cap: timing.rto_backoff_cap,
+        max_retries: timing.max_retries,
+        ..choice_for(cc).host_config()
+    }
+}
+
+fn switch_config_for(cc: CcName) -> SwitchConfig {
+    choice_for(cc).switch_config(true, false)
+}
+
+/// Executes one case with the scheme-appropriate configuration.
+pub fn execute(case: &ChaosCase) -> Result<CaseReport, String> {
+    run_case(
+        case,
+        host_config_for(case.cc),
+        switch_config_for(case.cc),
+        &choice_for(case.cc).factory(),
+    )
+}
+
+/// Result of a whole campaign.
+pub struct CampaignOutcome {
+    /// The deterministic summary text (also printed to stdout).
+    pub summary: String,
+    /// Repro files written, one per failing case.
+    pub repro_files: Vec<PathBuf>,
+}
+
+/// Runs a campaign: generate, execute in parallel, shrink failures,
+/// write repro files. Pure function of `(seed, cases, quick)` except
+/// for the files it writes under `out_dir`.
+pub fn campaign(seed: u64, cases: u64, quick: bool, out_dir: &Path) -> CampaignOutcome {
+    let specs: Vec<ChaosCase> = (0..cases).map(|i| generate_case(seed, i, quick)).collect();
+    let results = runner::par_map(&specs, execute);
+
+    let mut summary = String::new();
+    summary.push_str(&format!(
+        "chaos campaign: seed={seed} cases={cases} quick={quick}\n"
+    ));
+    let mut failures: Vec<&ChaosCase> = Vec::new();
+    for (i, (case, result)) in specs.iter().zip(&results).enumerate() {
+        match result {
+            Ok(report) => {
+                summary.push_str(&format!(
+                    "case {i:03}: {} -> {}\n",
+                    case.describe(),
+                    report.describe()
+                ));
+                if !report.converged() {
+                    failures.push(case);
+                }
+            }
+            Err(e) => {
+                summary.push_str(&format!("case {i:03}: {} -> ERROR {e}\n", case.describe()));
+                failures.push(case);
+            }
+        }
+    }
+
+    // Shrink every failure to a minimal reproduction and write it out.
+    // Sequential on purpose: failures are rare and the shrink order must
+    // not depend on scheduling.
+    let mut repro_files = Vec::new();
+    for case in &failures {
+        let fails = |c: &ChaosCase| match execute(c) {
+            Ok(r) => !r.converged(),
+            Err(_) => true,
+        };
+        let minimal = shrink_case(case, &mut { fails });
+        let name = format!("CHAOS_REPRO_{:016x}.json", minimal.seed);
+        summary.push_str(&format!(
+            "shrunk {:#018x}: {} faults, {} flows, {} us -> {name}\n",
+            minimal.seed,
+            minimal.faults.len(),
+            minimal.flows.len(),
+            minimal.duration_us
+        ));
+        let path = out_dir.join(&name);
+        if let Err(e) = std::fs::create_dir_all(out_dir)
+            .and_then(|()| std::fs::write(&path, minimal.to_json().render()))
+        {
+            eprintln!("cannot write {}: {e}", path.display());
+        } else {
+            repro_files.push(path);
+        }
+    }
+
+    summary.push_str(&format!(
+        "{}/{} cases converged, {} failed\n",
+        cases as usize - failures.len(),
+        cases,
+        failures.len()
+    ));
+    CampaignOutcome {
+        summary,
+        repro_files,
+    }
+}
+
+/// Replays a repro file. Returns the report, or an error for an
+/// unreadable/invalid file.
+pub fn replay(path: &Path) -> Result<(ChaosCase, CaseReport), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let case = ChaosCase::from_json(&Json::parse(&text)?)?;
+    let report = execute(&case)?;
+    Ok((case, report))
+}
+
+fn cli_usage() {
+    eprintln!("usage: repro chaos [--seed N] [--cases N] [--quick] [--out DIR]");
+    eprintln!("       repro chaos --replay FILE");
+}
+
+/// The `repro chaos` entry point. Returns the process exit status:
+/// 0 = all cases converged, 1 = at least one failure, 2 = usage error.
+pub fn cli(args: &[String]) -> i32 {
+    let mut seed: u64 = 1;
+    let mut cases: u64 = 25;
+    let mut quick = false;
+    let mut out_dir = PathBuf::from("chaos_out");
+    let mut replay_file: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("--seed requires an integer");
+                    cli_usage();
+                    return 2;
+                }
+            },
+            "--cases" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => cases = v,
+                _ => {
+                    eprintln!("--cases requires a positive integer");
+                    cli_usage();
+                    return 2;
+                }
+            },
+            "--out" => match it.next() {
+                Some(d) => out_dir = PathBuf::from(d),
+                None => {
+                    eprintln!("--out requires a directory");
+                    cli_usage();
+                    return 2;
+                }
+            },
+            "--replay" => match it.next() {
+                Some(f) => replay_file = Some(PathBuf::from(f)),
+                None => {
+                    eprintln!("--replay requires a file");
+                    cli_usage();
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("unknown argument '{other}'");
+                cli_usage();
+                return 2;
+            }
+        }
+    }
+
+    if let Some(path) = replay_file {
+        return match replay(&path) {
+            Ok((case, report)) => {
+                println!("replay {}: {}", case.describe(), report.describe());
+                for v in &report.violations {
+                    println!("  violation at {:?}: {}", v.at, v.context);
+                }
+                i32::from(!report.converged())
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                2
+            }
+        };
+    }
+
+    let outcome = campaign(seed, cases, quick, &out_dir);
+    print!("{}", outcome.summary);
+    i32::from(!outcome.repro_files.is_empty() || outcome.summary.contains("-> FAIL"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scheme_maps_to_configs() {
+        for cc in [CcName::None, CcName::Dcqcn, CcName::Dctcp, CcName::Timely] {
+            let h = host_config_for(cc);
+            assert_eq!(h.rto, chaos_host_config().rto);
+            // The scheme's own knobs survive the overlay.
+            if cc == CcName::Dcqcn {
+                assert!(h.cnp_interval.is_some());
+            }
+            let _ = switch_config_for(cc);
+            let _ = choice_for(cc).factory();
+        }
+    }
+
+    #[test]
+    fn single_case_executes_and_converges() {
+        // Case 0 of seed 1 in quick mode: small, must converge — the
+        // generator's vocabulary only schedules faults that clear.
+        let case = generate_case(1, 0, true);
+        let report = execute(&case).expect("valid generated case");
+        assert!(
+            report.converged(),
+            "generated case should converge: {:?}",
+            report
+                .violations
+                .iter()
+                .map(|v| &v.context)
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -11,6 +11,7 @@
 //! ```
 
 pub mod bench_core;
+pub mod chaos;
 pub mod common;
 pub mod ext_attribution;
 pub mod ext_faults;

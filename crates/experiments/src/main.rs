@@ -24,12 +24,19 @@ use std::time::Instant;
 fn usage() {
     eprintln!("usage: repro <id>...|all|list [--quick] [--json <dir>] [--trace <dir>]");
     eprintln!("       repro bench-core [--quick] [--label <name>]");
+    eprintln!("       repro chaos [--seed <n>] [--cases <n>] [--quick] [--out <dir>]");
+    eprintln!("       repro chaos --replay <file>");
     eprintln!("ids: {}", experiments::ALL.join(" "));
     eprintln!("ext: ext {}", experiments::EXT.join(" "));
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `chaos` owns its flag vocabulary (--seed, --cases, --replay, …),
+    // so it parses its own arguments instead of the shared loop below.
+    if args.first().map(String::as_str) == Some("chaos") {
+        std::process::exit(experiments::chaos::cli(&args[1..]));
+    }
     let mut quick = false;
     let mut ids: Vec<&str> = Vec::new();
     let mut json_dir: Option<&str> = None;

@@ -1,0 +1,144 @@
+//! The chaos campaign contract, end to end: campaign summaries are
+//! byte-identical across `REPRO_THREADS` settings, a deliberately broken
+//! recovery path (a wedged PFC watchdog) is caught by the convergence
+//! auditor, and the shrinker reduces it to a minimal replayable case
+//! file that still reproduces the failure.
+
+use std::sync::Mutex;
+
+use experiments::chaos::{campaign, execute, replay};
+use netsim::audit::ViolationKind;
+use netsim::chaos::{
+    generate_case, shrink_case, CcName, ChaosCase, ChaosFlow, FaultSpec, TopoPick,
+};
+use netsim::packet::DATA_PRIORITY;
+
+/// Serializes tests that mutate `REPRO_THREADS` — the test harness runs
+/// `#[test]` functions concurrently in one process, and the environment
+/// is process-global.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn set_threads(n: usize) {
+    std::env::set_var("REPRO_THREADS", n.to_string());
+}
+
+/// A hand-built case whose only fault is the test-only watchdog wedge —
+/// the "firmware bug" the generator never emits. It can never converge.
+fn wedged_case() -> ChaosCase {
+    ChaosCase {
+        seed: 0xBAD_D06,
+        topo: TopoPick::Star { hosts: 4 },
+        cc: CcName::Dcqcn,
+        flows: vec![
+            ChaosFlow {
+                src: 0,
+                dst: 1,
+                bytes: 256 * 1024,
+                start_us: 0,
+            },
+            ChaosFlow {
+                src: 2,
+                dst: 3,
+                bytes: 256 * 1024,
+                start_us: 100,
+            },
+        ],
+        faults: vec![
+            FaultSpec::Flap {
+                link: 2,
+                at_us: 1_000,
+                down_us: 400,
+                times: 1,
+                period_us: 1_000,
+            },
+            FaultSpec::Wedge {
+                switch: 0,
+                port: 1,
+                class: DATA_PRIORITY,
+                at_us: 2_000,
+            },
+        ],
+        duration_us: 10_000,
+        settle_us: 20_000,
+        queue_threshold: 64 * 1024,
+    }
+}
+
+#[test]
+fn campaign_summary_is_byte_identical_across_thread_counts() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let dir = std::env::temp_dir().join("chaos_campaign_test_threads");
+    set_threads(1);
+    let serial = campaign(1, 12, true, &dir);
+    set_threads(4);
+    let parallel = campaign(1, 12, true, &dir);
+    assert_eq!(
+        serial.summary, parallel.summary,
+        "summary must not depend on REPRO_THREADS"
+    );
+    assert!(serial.summary.contains("12/12 cases converged"));
+    assert!(serial.repro_files.is_empty(), "no failures, no repro files");
+}
+
+#[test]
+fn wedged_watchdog_fails_convergence_and_shrinks_to_a_replayable_file() {
+    let case = wedged_case();
+    let report = execute(&case).expect("case is well-formed");
+    assert!(!report.converged(), "a wedged watchdog can never converge");
+    assert!(report
+        .violations
+        .iter()
+        .all(|v| v.kind == ViolationKind::Convergence));
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.context.contains("watchdog still tripped")));
+
+    // Shrink with the real oracle: re-run each candidate and keep the
+    // reduction only if it still fails to converge.
+    let minimal = shrink_case(&case, &mut |c| match execute(c) {
+        Ok(r) => !r.converged(),
+        Err(_) => true,
+    });
+    assert_eq!(
+        minimal.faults,
+        vec![FaultSpec::Wedge {
+            switch: 0,
+            port: 1,
+            class: DATA_PRIORITY,
+            at_us: 2_000,
+        }],
+        "only the wedge survives shrinking"
+    );
+    assert_eq!(minimal.flows.len(), 1, "workload halves to one flow");
+    // The acceptance bar: the minimal plan has at most two events.
+    assert!(
+        minimal.plan().actions().len() <= 2,
+        "minimal case expands to ≤ 2 fault events"
+    );
+
+    // Round-trip through a repro file and replay: still fails, with the
+    // same violation class.
+    let dir = std::env::temp_dir().join("chaos_campaign_test_repro");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("CHAOS_REPRO_{:016x}.json", minimal.seed));
+    std::fs::write(&path, minimal.to_json().render()).unwrap();
+    let (replayed_case, replayed_report) = replay(&path).expect("repro file replays");
+    assert_eq!(replayed_case, minimal, "the file round-trips exactly");
+    assert!(!replayed_report.converged());
+    assert!(replayed_report
+        .violations
+        .iter()
+        .any(|v| v.context.contains("watchdog still tripped")));
+}
+
+#[test]
+fn replay_reproduces_a_case_bit_for_bit() {
+    // Executing the same generated case twice must agree on the full
+    // trajectory fingerprint, which is what makes repro files useful.
+    let case = generate_case(3, 1, true);
+    let a = execute(&case).unwrap();
+    let b = execute(&case).unwrap();
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.describe(), b.describe());
+}

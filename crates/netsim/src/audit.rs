@@ -58,6 +58,14 @@ pub enum ViolationKind {
     /// (`serializing + queued + pause_blocked + throttled +
     /// retransmitting + timed_out + idle != fct` at a completion).
     SpanAccounting,
+    /// The fabric failed to return to its quiescent state after the last
+    /// injected fault cleared plus the settling bound: a link still down
+    /// or degraded, a watchdog still tripped, a port pause-blocked since
+    /// before the settle window, standing queues that never drained, a
+    /// live QP making no byte progress, or routes that disagree with a
+    /// fresh shortest-path computation over the healed topology (see
+    /// `Network::check_convergence`).
+    Convergence,
 }
 
 /// One recorded invariant violation, with event context.
@@ -117,6 +125,20 @@ impl Auditor {
                 context,
             });
         }
+    }
+
+    /// Records externally computed violations (the convergence checker
+    /// builds its list unconditionally so release campaign runs can read
+    /// it; this folds them into the auditor when the feature is on, so
+    /// `assert_clean`, the report, and the flight-recorder dump sweep all
+    /// see them).
+    pub fn record_all(&mut self, violations: &[Violation]) {
+        #[cfg(feature = "sanitize")]
+        for v in violations {
+            self.violate(v.at, v.kind, v.node, v.context.clone());
+        }
+        #[cfg(not(feature = "sanitize"))]
+        let _ = violations;
     }
 
     /// An event is about to be dispatched at `at`: check monotonicity.
@@ -469,6 +491,70 @@ impl Auditor {
     }
 }
 
+/// Judges a settle-window series of `(time, total queued bytes)` samples
+/// against the convergence drain invariant: by the end of the window the
+/// fabric must either be below `threshold` or still visibly draining
+/// (strictly less queued than at the window start — a long tail emptying
+/// out is not a standing queue). Returns the violation to record, if any.
+///
+/// Pure so it runs (and is testable) with or without the `sanitize`
+/// feature; the caller attributes no node (it is a fabric-wide check).
+pub fn check_queue_drain(samples: &[(Time, u64)], threshold: u64) -> Option<Violation> {
+    let (&(first_at, first), &(last_at, last)) = (samples.first()?, samples.last()?);
+    if last <= threshold || (samples.len() > 1 && last < first) {
+        return None;
+    }
+    Some(Violation {
+        at: last_at,
+        kind: ViolationKind::Convergence,
+        node: None,
+        context: format!(
+            "queues not draining: {last} B queued at {last_at} \
+             (threshold {threshold} B, {first} B at {first_at})"
+        ),
+    })
+}
+
+#[cfg(test)]
+mod drain_tests {
+    use super::*;
+
+    fn t(us: u64) -> Time {
+        Time::from_micros(us)
+    }
+
+    #[test]
+    fn below_threshold_converges() {
+        let s = [(t(0), 9000), (t(10), 4000), (t(20), 900)];
+        assert!(check_queue_drain(&s, 1000).is_none());
+    }
+
+    #[test]
+    fn still_draining_tail_is_tolerated() {
+        let s = [(t(0), 90_000), (t(10), 60_000), (t(20), 30_000)];
+        assert!(check_queue_drain(&s, 1000).is_none());
+    }
+
+    #[test]
+    fn standing_queue_is_a_violation() {
+        let s = [(t(0), 50_000), (t(10), 50_000), (t(20), 50_000)];
+        let v = check_queue_drain(&s, 1000).expect("standing queue");
+        assert_eq!(v.kind, ViolationKind::Convergence);
+        assert!(v.context.contains("not draining"));
+    }
+
+    #[test]
+    fn growing_queue_is_a_violation() {
+        let s = [(t(0), 10_000), (t(20), 80_000)];
+        assert!(check_queue_drain(&s, 1000).is_some());
+    }
+
+    #[test]
+    fn empty_series_is_vacuously_clean() {
+        assert!(check_queue_drain(&[], 0).is_none());
+    }
+}
+
 #[cfg(all(test, feature = "sanitize"))]
 mod tests {
     use super::*;
@@ -614,6 +700,21 @@ mod tests {
         assert_eq!(a.violations().len(), 1);
         assert_eq!(a.violations()[0].kind, ViolationKind::SpanAccounting);
         assert_eq!(a.violations()[0].node, Some(NodeId(2)));
+    }
+
+    #[test]
+    fn record_all_folds_external_violations_in() {
+        let mut a = Auditor::default();
+        let vs = vec![Violation {
+            at: Time::from_micros(7),
+            kind: ViolationKind::Convergence,
+            node: Some(NodeId(3)),
+            context: "watchdog still tripped".to_string(),
+        }];
+        a.record_all(&vs);
+        assert_eq!(a.total_violations(), 1);
+        assert_eq!(a.violations()[0].kind, ViolationKind::Convergence);
+        assert!(!a.is_clean());
     }
 
     #[test]

@@ -90,6 +90,20 @@ pub enum FaultAction {
         /// The misconfigured switch.
         switch: NodeId,
     },
+    /// Test-only firmware-bug emulation: trip the PFC storm watchdog on
+    /// one (switch, port, class) *without* scheduling its recovery — the
+    /// class ignores PAUSE forever. No real fault vocabulary entry maps
+    /// here and the chaos generator never emits it; it exists so the
+    /// convergence auditor's stuck-watchdog detection (and the case
+    /// shrinker downstream of it) can be exercised end-to-end.
+    WedgeWatchdog {
+        /// The switch whose watchdog wedges.
+        switch: NodeId,
+        /// The afflicted port.
+        port: PortId,
+        /// The afflicted priority class.
+        class: u8,
+    },
 }
 
 /// A declarative, reproducible fault plan: `(time, action)` pairs built
@@ -186,6 +200,120 @@ impl FaultPlan {
     pub fn ecn_off(mut self, at: Time, switch: NodeId) -> FaultPlan {
         self.actions.push((at, FaultAction::EcnOff { switch }));
         self
+    }
+
+    /// Wedges the PFC storm watchdog on `(switch, port, class)` at `at`
+    /// (test-only; see [`FaultAction::WedgeWatchdog`]).
+    pub fn wedge_watchdog(
+        mut self,
+        at: Time,
+        switch: NodeId,
+        port: PortId,
+        class: u8,
+    ) -> FaultPlan {
+        self.actions.push((
+            at,
+            FaultAction::WedgeWatchdog {
+                switch,
+                port,
+                class,
+            },
+        ));
+        self
+    }
+
+    /// The latest instant at which any planned action is still acting:
+    /// a storm keeps ticking until its `until`; everything else acts at
+    /// its scheduled time. `Time::ZERO` for an empty plan. Convergence
+    /// settling windows start here.
+    pub fn horizon(&self) -> Time {
+        self.actions
+            .iter()
+            .map(|&(at, action)| match action {
+                FaultAction::PauseStormTick { until, .. } => at.max(until),
+                _ => at,
+            })
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Rejects overlapping or nested events on the same resource, the
+    /// interleavings whose semantics would otherwise be undefined:
+    ///
+    /// * a `LinkDown` while that link is already down (flap-during-down),
+    /// * a `LinkUp` while that link is already up,
+    /// * two up/down transitions of the same link at the same instant
+    ///   (their relative order would depend on insertion order),
+    /// * two pause storms on the same (host, class) with overlapping
+    ///   windows (their refresh chains would interleave unpredictably).
+    ///
+    /// Bit errors, ECN-off and watchdog wedges are level-set operations
+    /// (the last write wins) and may appear anywhere — including during a
+    /// down window, which is well-defined: a down link drops everything
+    /// regardless of its corruption probability.
+    pub fn validate(&self) -> Result<(), String> {
+        // Per-link transition timelines. Links start up.
+        let mut transitions: std::collections::BTreeMap<usize, Vec<(Time, bool)>> =
+            std::collections::BTreeMap::new();
+        // Per-(host, class) storm windows.
+        let mut storms: std::collections::BTreeMap<(usize, u8), Vec<(Time, Time)>> =
+            std::collections::BTreeMap::new();
+        for &(at, action) in &self.actions {
+            match action {
+                FaultAction::LinkDown { link } => {
+                    transitions.entry(link.0).or_default().push((at, false));
+                }
+                FaultAction::LinkUp { link } => {
+                    transitions.entry(link.0).or_default().push((at, true));
+                }
+                FaultAction::PauseStormTick {
+                    host, class, until, ..
+                } => {
+                    storms.entry((host.0, class)).or_default().push((at, until));
+                }
+                FaultAction::SetBitError { .. }
+                | FaultAction::EcnOff { .. }
+                | FaultAction::WedgeWatchdog { .. } => {}
+            }
+        }
+        for (link, events) in &mut transitions {
+            events.sort_by_key(|&(at, _)| at);
+            let mut up = true;
+            let mut prev_at = None;
+            for &(at, to_up) in events.iter() {
+                if prev_at == Some(at) {
+                    return Err(format!(
+                        "fault plan invalid: link {link} has two transitions at {at} \
+                         (their order would be undefined)"
+                    ));
+                }
+                prev_at = Some(at);
+                if to_up == up {
+                    let state = if up { "up" } else { "down" };
+                    let verb = if to_up { "up" } else { "down" };
+                    return Err(format!(
+                        "fault plan invalid: link {link} taken {verb} at {at} \
+                         while already {state} (overlapping/nested fault windows)"
+                    ));
+                }
+                up = to_up;
+            }
+        }
+        for ((host, class), windows) in &mut storms {
+            windows.sort_by_key(|&(from, _)| from);
+            for pair in windows.windows(2) {
+                let (from_a, until_a) = pair[0];
+                let (from_b, _) = pair[1];
+                if from_b <= until_a {
+                    return Err(format!(
+                        "fault plan invalid: host {host} class {class} has \
+                         overlapping pause storms ([{from_a}, {until_a}] and \
+                         one starting at {from_b})"
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -385,6 +513,143 @@ mod tests {
             }
         ));
         assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_plans() {
+        let plan = FaultPlan::new()
+            .link_flap(
+                LinkId(0),
+                Time::from_millis(1),
+                Duration::from_millis(1),
+                Duration::from_millis(4),
+                3,
+            )
+            .bit_error(Time::from_millis(2), LinkId(0), 1e-3) // during down: fine
+            .bit_error(Time::from_millis(9), LinkId(0), 0.0)
+            .pause_storm(
+                NodeId(7),
+                3,
+                Time::from_millis(1),
+                Time::from_millis(2),
+                Duration::from_micros(10),
+            )
+            .pause_storm(
+                NodeId(7),
+                3,
+                Time::from_millis(3), // disjoint window, same (host, class)
+                Time::from_millis(4),
+                Duration::from_micros(10),
+            )
+            .ecn_off(Time::from_millis(5), NodeId(2))
+            .wedge_watchdog(Time::from_millis(6), NodeId(2), PortId(1), 3);
+        assert_eq!(plan.validate(), Ok(()));
+        assert_eq!(plan.horizon(), Time::from_millis(10), "last flap's up");
+    }
+
+    #[test]
+    fn validate_rejects_down_while_down() {
+        let plan = FaultPlan::new()
+            .link_down(Time::from_millis(1), LinkId(2))
+            .link_down(Time::from_millis(2), LinkId(2))
+            .link_up(Time::from_millis(3), LinkId(2));
+        let err = plan.validate().unwrap_err();
+        assert!(
+            err.contains("link 2") && err.contains("already down"),
+            "{err}"
+        );
+        // The same overlap on *different* links is fine.
+        let ok = FaultPlan::new()
+            .link_down(Time::from_millis(1), LinkId(2))
+            .link_down(Time::from_millis(2), LinkId(3))
+            .link_up(Time::from_millis(3), LinkId(2))
+            .link_up(Time::from_millis(4), LinkId(3));
+        assert_eq!(ok.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_up_while_up_and_flap_overlap() {
+        let up = FaultPlan::new().link_up(Time::from_millis(1), LinkId(0));
+        assert!(up.validate().unwrap_err().contains("already up"));
+        // Two flaps of the same link whose windows interleave: the second
+        // flap's down lands inside the first flap's down window.
+        let overlap = FaultPlan::new()
+            .link_flap(
+                LinkId(1),
+                Time::from_millis(1),
+                Duration::from_millis(3),
+                Duration::from_millis(10),
+                1,
+            )
+            .link_flap(
+                LinkId(1),
+                Time::from_millis(2),
+                Duration::from_millis(1),
+                Duration::from_millis(10),
+                1,
+            );
+        assert!(overlap.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_same_instant_transitions() {
+        let plan = FaultPlan::new()
+            .link_down(Time::from_millis(5), LinkId(4))
+            .link_up(Time::from_millis(5), LinkId(4));
+        assert!(plan.validate().unwrap_err().contains("two transitions"));
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_storms() {
+        let plan = FaultPlan::new()
+            .pause_storm(
+                NodeId(1),
+                3,
+                Time::from_millis(1),
+                Time::from_millis(5),
+                Duration::from_micros(10),
+            )
+            .pause_storm(
+                NodeId(1),
+                3,
+                Time::from_millis(4),
+                Time::from_millis(8),
+                Duration::from_micros(10),
+            );
+        assert!(plan
+            .validate()
+            .unwrap_err()
+            .contains("overlapping pause storms"));
+        // Same window on a different class is independent.
+        let ok = FaultPlan::new()
+            .pause_storm(
+                NodeId(1),
+                3,
+                Time::from_millis(1),
+                Time::from_millis(5),
+                Duration::from_micros(10),
+            )
+            .pause_storm(
+                NodeId(1),
+                4,
+                Time::from_millis(4),
+                Time::from_millis(8),
+                Duration::from_micros(10),
+            );
+        assert_eq!(ok.validate(), Ok(()));
+    }
+
+    #[test]
+    fn horizon_of_empty_plan_is_zero() {
+        assert_eq!(FaultPlan::new().horizon(), Time::ZERO);
+        let storm = FaultPlan::new().pause_storm(
+            NodeId(0),
+            3,
+            Time::from_millis(1),
+            Time::from_millis(7),
+            Duration::from_micros(50),
+        );
+        assert_eq!(storm.horizon(), Time::from_millis(7));
     }
 
     #[test]

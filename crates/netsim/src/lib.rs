@@ -47,6 +47,7 @@
 pub mod audit;
 pub mod buffer;
 pub mod cc;
+pub mod chaos;
 pub mod ecn;
 pub mod event;
 pub mod faults;

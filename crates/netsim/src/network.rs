@@ -1,13 +1,13 @@
 //! The network: nodes, links, the event loop, and the experiment-facing
 //! API (build a topology, add flows, inject messages, run, read stats).
 
-use crate::audit::Auditor;
+use crate::audit::{check_queue_drain, Auditor, Violation, ViolationKind};
 use crate::cc::CongestionControl;
 use crate::ecn::RedConfig;
 use crate::event::{Event, EventQueue, LinkId, NodeId, PortId, TimerKind};
 use crate::faults::{FaultAction, FaultConfig, FaultEngine, FaultPlan, FaultStats, WireFate};
 use crate::host::{Host, HostConfig};
-use crate::packet::{FlowId, Packet, Priority};
+use crate::packet::{FlowId, Packet, Priority, NUM_PRIORITIES};
 use crate::port::Attachment;
 use crate::rng::SplitMix64;
 use crate::routing::{compute_routes_masked, Edge};
@@ -468,7 +468,16 @@ impl Network {
     /// failover policy and bit-error seed) and schedules every planned
     /// action on the event queue. Actions planned in the past fire
     /// immediately (clamped to now).
+    ///
+    /// # Panics
+    /// Panics when the plan fails [`FaultPlan::validate`] (overlapping or
+    /// nested events on the same link/storm — their interleaving would be
+    /// undefined, so they are rejected up front with the validator's
+    /// message rather than silently reordered).
     pub fn install_faults(&mut self, plan: &FaultPlan, config: FaultConfig) {
+        if let Err(msg) = plan.validate() {
+            panic!("{msg}");
+        }
         self.faults.activate(config);
         let now = self.ctx.queue.now();
         for &(at, action) in plan.actions() {
@@ -603,6 +612,16 @@ impl Network {
                     self.ctx.queue.schedule(next, Event::Fault { action });
                 }
             }
+            FaultAction::WedgeWatchdog {
+                switch,
+                port,
+                class,
+            } => {
+                let Network { nodes, ctx, .. } = self;
+                if let Node::Switch(s) = &mut nodes[switch.0] {
+                    s.wedge_watchdog(ctx, port, class as usize);
+                }
+            }
         }
     }
 
@@ -696,6 +715,190 @@ impl Network {
         if self.ctx.audit.violations().len() != self.dumped_violations {
             self.flight_dump_new_violations();
         }
+    }
+
+    /// Number of links in the fabric (fault injection targets).
+    pub fn num_links(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Sum of queued bytes across every port of every node (switch egress
+    /// queues plus host NICs). The convergence drain samples read this.
+    pub fn total_queued_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                Node::Switch(s) => s.ports.iter().map(|p| p.total_queued_bytes()).sum(),
+                Node::Host(h) => h.port.total_queued_bytes(),
+            })
+            .sum()
+    }
+
+    /// Per-flow delivered-byte counters indexed by flow id. The
+    /// convergence stuck-QP check snapshots this at the start of the
+    /// settle window and compares at the end.
+    pub fn delivered_snapshot(&self) -> Vec<u64> {
+        self.ctx
+            .flow_stats
+            .iter()
+            .map(|s| s.delivered_bytes)
+            .collect()
+    }
+
+    /// Post-fault convergence audit. Call after the last planned fault
+    /// has cleared plus a settling bound: `settle_start` is when the
+    /// settle window began (all faults cleared), `baseline` a
+    /// [`Network::delivered_snapshot`] taken at `settle_start`, and
+    /// `queue_samples` periodic `(time, total_queued_bytes)` probes taken
+    /// across the window. Checks, in order:
+    ///
+    /// 1. every link is up and carries no residual bit-error probability,
+    /// 2. every PFC watchdog has restored (no `pfc_ignore` anywhere),
+    /// 3. no port has been pause-blocked continuously since before the
+    ///    settle window (transient PAUSE under live traffic is normal),
+    /// 4. queues drained below `queue_threshold`, or are at least still
+    ///    visibly draining (see [`check_queue_drain`]),
+    /// 5. every live, unfinished QP made byte progress across the window
+    ///    (torn-down QPs are legitimate degradation, not stuck state),
+    /// 6. every switch's routes equal a fresh [`compute_routes_masked`]
+    ///    over the current link state.
+    ///
+    /// The list is returned unconditionally so release campaign runs can
+    /// read it; with the `sanitize` feature the violations are also
+    /// folded into the auditor as [`ViolationKind::Convergence`] and the
+    /// flight recorder is dumped for each violation that names a node.
+    ///
+    /// The settling bound must exceed the watchdog recovery interval and
+    /// the worst-case RTO backoff gap (`rto × rto_backoff_cap`), or
+    /// healthy in-progress recovery can be misread as stuck state.
+    pub fn check_convergence(
+        &mut self,
+        settle_start: Time,
+        queue_threshold: u64,
+        baseline: &[u64],
+        queue_samples: &[(Time, u64)],
+    ) -> Vec<Violation> {
+        let now = self.ctx.queue.now();
+        let mut violations: Vec<Violation> = Vec::new();
+        let conv = |node: Option<NodeId>, context: String| Violation {
+            at: now,
+            kind: ViolationKind::Convergence,
+            node,
+            context,
+        };
+
+        // 1. Link health.
+        for (i, l) in self.faults.links.iter().enumerate() {
+            let (a, _, b, _) = self.edges[i];
+            if !l.up {
+                violations.push(conv(
+                    Some(a),
+                    format!("link {i} ({}-{}) still down at convergence check", a.0, b.0),
+                ));
+            }
+            if l.drop_prob > 0.0 {
+                let p = l.drop_prob;
+                violations.push(conv(
+                    Some(a),
+                    format!(
+                        "link {i} ({}-{}) still degraded (bit-error p={p})",
+                        a.0, b.0
+                    ),
+                ));
+            }
+        }
+
+        // 2 + 3. Port pause state: wedged watchdogs and standing pauses.
+        for (ni, node) in self.nodes.iter().enumerate() {
+            let mut check_port = |pid: usize, port: &crate::port::Port| {
+                for c in 0..NUM_PRIORITIES {
+                    if port.pfc_ignore[c] {
+                        violations.push(conv(
+                            Some(NodeId(ni)),
+                            format!(
+                                "node {ni} port {pid} class {c}: watchdog still \
+                                 tripped (PAUSE ignored) after settle window"
+                            ),
+                        ));
+                    }
+                    if port.rx_paused[c] && port.rx_paused_since[c] <= settle_start {
+                        let since = port.rx_paused_since[c];
+                        violations.push(conv(
+                            Some(NodeId(ni)),
+                            format!(
+                                "node {ni} port {pid} class {c}: pause-blocked \
+                                 continuously since {since} (before settle window)"
+                            ),
+                        ));
+                    }
+                }
+            };
+            match node {
+                Node::Switch(s) => {
+                    for (pid, p) in s.ports.iter().enumerate() {
+                        check_port(pid, p);
+                    }
+                }
+                Node::Host(h) => check_port(0, &h.port),
+            }
+        }
+
+        // 4. Queue drain across the settle window.
+        if let Some(v) = check_queue_drain(queue_samples, queue_threshold) {
+            violations.push(v);
+        }
+
+        // 5. Stuck QPs: live, unfinished flows must have moved bytes.
+        for node in &self.nodes {
+            if let Node::Host(h) = node {
+                for f in &h.flows {
+                    if f.dead || f.is_idle() {
+                        continue;
+                    }
+                    let i = f.id.0 as usize;
+                    let before = baseline.get(i).copied().unwrap_or(0);
+                    let after = self.ctx.flow_stats.get(i).map_or(0, |s| s.delivered_bytes);
+                    if after <= before {
+                        violations.push(conv(
+                            Some(h.id),
+                            format!(
+                                "flow {} on host {}: live QP made no byte progress \
+                                 across the settle window ({after} B delivered)",
+                                f.id.0, h.id.0
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // 6. Route consistency with the (healed) topology.
+        let down: Vec<bool> = self.faults.links.iter().map(|l| !l.up).collect();
+        let fresh = compute_routes_masked(self.nodes.len(), &self.edges, &down, &self.dests);
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Node::Switch(s) = node {
+                if s.routes != fresh[i] {
+                    violations.push(conv(
+                        Some(s.id),
+                        format!(
+                            "switch {i}: routes differ from a fresh computation \
+                             over the current topology (stale failover state)"
+                        ),
+                    ));
+                }
+            }
+        }
+
+        self.ctx.metrics.inc(self.ctx.metrics.h.convergence_checks);
+        self.ctx.metrics.add(
+            self.ctx.metrics.h.convergence_violations,
+            violations.len() as u64,
+        );
+        self.ctx.audit.record_all(&violations);
+        if self.ctx.audit.violations().len() != self.dumped_violations {
+            self.flight_dump_new_violations();
+        }
+        violations
     }
 
     /// Total events executed so far.

@@ -19,7 +19,7 @@ pub type Edge = (NodeId, PortId, NodeId, PortId);
 /// every switch hop is one bounds-checked array read instead of a hash.
 /// An empty port list means "no route" — `get` treats both out-of-range
 /// and empty as unroutable.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RouteTable {
     ports: Vec<Vec<PortId>>,
 }
@@ -223,6 +223,30 @@ mod tests {
         let edges = vec![(n(0), p(0), n(1), p(0))];
         let t = compute_routes_masked(2, &edges, &[true], &[n(1)]);
         assert!(!t[0].contains_key(&n(1)), "no route over a dead link");
+    }
+
+    /// The convergence auditor compares a switch's live table against a
+    /// fresh computation; that only works if recomputing over the same
+    /// topology yields a structurally identical table (and a masked one
+    /// compares unequal).
+    #[test]
+    fn recomputed_tables_compare_equal() {
+        let edges = vec![
+            (n(0), p(0), n(2), p(0)),
+            (n(1), p(0), n(3), p(0)),
+            (n(2), p(1), n(4), p(0)),
+            (n(2), p(2), n(5), p(0)),
+            (n(3), p(1), n(4), p(1)),
+            (n(3), p(2), n(5), p(1)),
+        ];
+        let dests = [n(0), n(1)];
+        let a = compute_routes_masked(6, &edges, &[], &dests);
+        let b = compute_routes_masked(6, &edges, &[false; 6], &dests);
+        assert_eq!(a, b);
+        let mut down = vec![false; 6];
+        down[2] = true;
+        let c = compute_routes_masked(6, &edges, &down, &dests);
+        assert_ne!(a[2], c[2], "masking a link must change the table");
     }
 
     #[test]

@@ -465,6 +465,30 @@ impl Switch {
         self.try_transmit(ctx, pid);
     }
 
+    /// Test-only firmware-bug emulation (see
+    /// [`crate::faults::FaultAction::WedgeWatchdog`]): trips the storm
+    /// watchdog on `(pid, class)` exactly like a genuine trip — PAUSE
+    /// ignored from here on, transmission resumed, the trip counted — but
+    /// never schedules the recovery event, leaving the class wedged. The
+    /// convergence auditor must catch the stuck `pfc_ignore`.
+    pub fn wedge_watchdog(&mut self, ctx: &mut Ctx, pid: PortId, class: usize) {
+        let port = &mut self.ports[pid.0];
+        port.wd_armed[class] = false;
+        port.pfc_ignore[class] = true;
+        port.rx_paused[class] = false;
+        port.rx_paused_since[class] = Time::NEVER;
+        self.stats.watchdog_trips += 1;
+        ctx.metrics.inc(ctx.metrics.h.watchdog_trips);
+        ctx.record_trace(TraceEvent {
+            at: ctx.queue.now(),
+            node: self.id,
+            flow: crate::packet::FlowId(u64::MAX),
+            kind: TraceKind::WatchdogTrip,
+            detail: class as u64,
+        });
+        self.try_transmit(ctx, pid);
+    }
+
     /// Injects a switch-originated control packet (QCN feedback) toward its
     /// destination via normal routing, without shared-buffer accounting.
     fn forward_control(&mut self, ctx: &mut Ctx, fallback_port: PortId, pkt: Packet) {

@@ -43,6 +43,11 @@ impl Json {
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
+    /// Builds a string value from a `&str`.
+    pub fn str(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+
     /// Pushes a key/value pair onto an object.
     ///
     /// # Panics
@@ -61,6 +66,62 @@ impl Json {
         self.write(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Parses a JSON document (the inverse of [`Json::render`], accepting
+    /// any standard JSON, not just this module's pretty-printed shape).
+    /// Numbers without `.`/exponent parse as [`Json::UInt`] (or
+    /// [`Json::Int`] when negative), everything else as [`Json::Float`] —
+    /// matching what the renderer emits so case files round-trip exactly.
+    /// Errors carry the byte offset of the first offending character.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Looks up a key in an object (first occurrence, matching the
+    /// renderer's duplicate-key rule). `None` for missing keys or
+    /// non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is an unsigned integer (or a
+    /// non-negative signed one).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::UInt(u) => Some(u),
+            Json::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -123,6 +184,203 @@ impl Json {
                 push_indent(out, indent);
                 out.push('}');
             }
+        }
+    }
+}
+
+/// Recursive-descent JSON parser state (byte cursor into the input).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected character at byte {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Consume a run of plain UTF-8 up to the next escape or quote.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            // The input is a &str, so slicing on these boundaries is valid
+            // UTF-8 (quotes/backslashes are never UTF-8 continuation bytes).
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| format!("invalid UTF-8 at byte {start}"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| format!("unterminated escape at byte {}", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| {
+                                    format!("truncated \\u escape at byte {}", self.pos)
+                                })?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+                            self.pos += 4;
+                            // Surrogates are not emitted by the renderer;
+                            // map unpaired ones to U+FFFD rather than err.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("unknown escape at byte {}", self.pos - 1)),
+                    }
+                }
+                _ => return Err(format!("unterminated string at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid number at byte {start}"))?;
+        if float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|_| format!("invalid integer '{text}' at byte {start}"))
+        } else {
+            text.parse::<u64>()
+                .map(Json::UInt)
+                .map_err(|_| format!("invalid integer '{text}' at byte {start}"))
         }
     }
 }
@@ -263,5 +521,63 @@ mod tests {
     fn duplicate_keys_keep_first() {
         let j = Json::obj(vec![("k", Json::UInt(1)), ("k", Json::UInt(2))]);
         assert_eq!(j.render(), "{\n  \"k\": 1\n}\n");
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let j = Json::obj(vec![
+            (
+                "arr",
+                Json::Arr(vec![Json::UInt(1), Json::Bool(false), Json::Null]),
+            ),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::obj(vec![])),
+            ("neg", Json::Int(-42)),
+            ("pi", Json::Float(3.5)),
+            ("s", Json::Str("a\"b\\c\nd\u{1}tab\t".to_string())),
+            ("u", Json::UInt(u64::MAX)),
+        ]);
+        let parsed = Json::parse(&j.render()).unwrap();
+        assert_eq!(parsed, j);
+        // Render → parse → render is a fixpoint.
+        assert_eq!(parsed.render(), j.render());
+    }
+
+    #[test]
+    fn parse_classifies_numbers() {
+        let j = Json::parse("[0, 17, -3, 2.5, 1e3, -0.25]").unwrap();
+        let arr = j.as_arr().unwrap();
+        assert_eq!(arr[0], Json::UInt(0));
+        assert_eq!(arr[1], Json::UInt(17));
+        assert_eq!(arr[2], Json::Int(-3));
+        assert_eq!(arr[3], Json::Float(2.5));
+        assert_eq!(arr[4], Json::Float(1000.0));
+        assert_eq!(arr[5], Json::Float(-0.25));
+    }
+
+    #[test]
+    fn parse_accessors_navigate_objects() {
+        let j = Json::parse("{\"a\": {\"b\": [1, \"two\"]}, \"n\": 9}").unwrap();
+        assert_eq!(j.get("n").and_then(Json::as_u64), Some(9));
+        let b = j.get("a").and_then(|a| a.get("b")).unwrap();
+        assert_eq!(b.as_arr().unwrap()[1].as_str(), Some("two"));
+        assert!(j.get("missing").is_none());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Json::parse("{\"a\": 1} trailing").is_err());
+        assert!(Json::parse("{\"a\"").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("\"bad \\x escape\"").is_err());
+        assert!(Json::parse("nul").is_err());
+        assert!(Json::parse("").is_err());
+    }
+
+    #[test]
+    fn parse_unescapes_unicode() {
+        let j = Json::parse("\"\\u0041\\u00e9\\n\"").unwrap();
+        assert_eq!(j.as_str(), Some("Aé\n"));
     }
 }

@@ -186,6 +186,8 @@ pub struct WellKnown {
     pub completions: CounterId,
     pub link_transitions: CounterId,
     pub storm_pauses: CounterId,
+    pub convergence_checks: CounterId,
+    pub convergence_violations: CounterId,
     pub peak_buffer_bytes: GaugeId,
     pub queue_depth_bytes: HistId,
     pub cnp_interarrival_us: HistId,
@@ -227,6 +229,8 @@ impl Metrics {
             completions: r.counter("completions"),
             link_transitions: r.counter("link_transitions"),
             storm_pauses: r.counter("storm_pauses"),
+            convergence_checks: r.counter("convergence_checks"),
+            convergence_violations: r.counter("convergence_violations"),
             peak_buffer_bytes: r.gauge("peak_buffer_bytes"),
             queue_depth_bytes: r.histogram("queue_depth_bytes"),
             cnp_interarrival_us: r.histogram("cnp_interarrival_us"),

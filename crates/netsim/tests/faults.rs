@@ -11,6 +11,7 @@ use netsim::switch::{PfcWatchdogConfig, SwitchConfig};
 use netsim::topology::{clos_testbed, LinkParams};
 use netsim::trace::TraceKind;
 use netsim::units::{Bandwidth, Duration, Time};
+use proptest::prelude::*;
 
 fn host_cfg() -> HostConfig {
     HostConfig {
@@ -395,4 +396,212 @@ fn watchdog_restore_without_trip_is_harmless() {
     assert!(st.resume_tx > 0, "with real resumes");
     assert_eq!(st.watchdog_trips, 0, "normal PFC never trips the watchdog");
     assert!(net.flow_stats(f).delivered_bytes > 10_000_000);
+}
+
+/// RTO backoff must *reset* once the flow makes progress again: after a
+/// post-timeout delivery the next outage restarts the 1, 2, 4, … × RTO
+/// schedule rather than continuing from the escalated multiplier.
+#[test]
+fn rto_backoff_resets_after_successful_delivery() {
+    let rto = Duration::from_micros(200);
+    let mut b = NetworkBuilder::new(13);
+    let s1 = b.switch(SwitchConfig::paper_default());
+    let h1 = b.host(HostConfig {
+        cnp_interval: None,
+        rto,
+        ..HostConfig::default()
+    });
+    let h2 = b.host(host_cfg());
+    let d = Duration::from_micros(1);
+    b.connect(h1, s1, Bandwidth::gbps(40), d);
+    let access = b.connect(h2, s1, Bandwidth::gbps(40), d);
+    let mut net = b.build();
+    net.enable_trace(100_000);
+    let f = net.add_flow(h1, h2, DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+    net.send_message(f, u64::MAX, Time::ZERO);
+    // Two outages of the receiver's access link, separated by a healthy
+    // window long enough for delivery (and the backoff reset) to happen.
+    // No failover: a single-homed host has no alternate path.
+    let plan = FaultPlan::new()
+        .link_down(Time::from_micros(100), access)
+        .link_up(Time::from_micros(1_800), access)
+        .link_down(Time::from_micros(3_000), access)
+        .link_up(Time::from_micros(6_000), access);
+    net.install_faults(
+        &plan,
+        FaultConfig {
+            failover: false,
+            ..FaultConfig::default()
+        },
+    );
+    net.run_until(Time::from_millis(10));
+
+    let boundary = Time::from_micros(3_000);
+    let fires: Vec<Time> = net
+        .trace()
+        .of_kind(TraceKind::Timeout)
+        .iter()
+        .filter(|e| e.flow == f)
+        .map(|e| e.at)
+        .collect();
+    let first: Vec<Time> = fires.iter().copied().filter(|&t| t < boundary).collect();
+    let second: Vec<Time> = fires.iter().copied().filter(|&t| t >= boundary).collect();
+    assert!(
+        first.len() >= 3,
+        "first outage escalates through several timeouts: {first:?}"
+    );
+    let gaps: Vec<Duration> = first.windows(2).map(|w| w[1] - w[0]).collect();
+    assert!(
+        gaps.windows(2).all(|g| g[1] >= g[0]),
+        "backoff escalated during the first outage: {gaps:?}"
+    );
+    assert!(
+        gaps.last().unwrap() >= &rto.saturating_mul(2),
+        "the multiplier actually grew past 1×: {gaps:?}"
+    );
+    // The healthy window delivered bytes, so the second outage restarts
+    // the schedule: its first two timeouts are 1 × RTO apart (continued
+    // escalation would make the gap ≥ 4 × RTO).
+    assert!(
+        second.len() >= 2,
+        "second outage produced timeouts: {second:?}"
+    );
+    assert_eq!(
+        second[1] - second[0],
+        rto,
+        "backoff restarted at 1 × RTO after recovery"
+    );
+    assert!(!net.flow_stats(f).aborted, "the flow survived both outages");
+    assert!(
+        net.flow_stats(f).delivered_bytes > 0,
+        "delivery resumed in between"
+    );
+}
+
+/// The watchdog must re-arm after restoring: a second storm on the same
+/// port and class trips it again, and both trips and both restores are
+/// counted — in the switch stats and in telemetry.
+#[test]
+fn watchdog_retrips_after_second_storm_and_counts_twice() {
+    // Recovery is long enough that the restore lands *after* the storm's
+    // final PAUSE frame: trip + recovery > storm end. PAUSE is modelled
+    // level-triggered, so a trailing PAUSE applied after the restore
+    // would (correctly) re-trip the watchdog within one storm, which is
+    // not the re-arm path this test pins down.
+    let wd = PfcWatchdogConfig {
+        threshold: Duration::from_micros(500),
+        recovery: Duration::from_micros(2_000),
+    };
+    let mut b = NetworkBuilder::new(17);
+    let mut cfg = SwitchConfig::paper_default();
+    cfg.watchdog = Some(wd);
+    let s1 = b.switch(cfg);
+    let sender = b.host(host_cfg());
+    let storm = b.host(host_cfg());
+    let d = Duration::from_micros(1);
+    b.connect(sender, s1, Bandwidth::gbps(40), d);
+    b.connect(storm, s1, Bandwidth::gbps(40), d);
+    let mut net = b.build();
+    let f = net.add_flow(sender, storm, DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+    net.send_message(f, u64::MAX, Time::ZERO);
+    // Two short storms. Each lasts 1.5 ms: long enough to trip a 500 µs
+    // watchdog exactly once (the 1 ms recovery restore lands after the
+    // storm has ended, so no double trip within one storm). The 5 ms gap
+    // lets the port restore and the fabric drain before the second hit.
+    let plan = FaultPlan::new()
+        .pause_storm(
+            storm,
+            DATA_PRIORITY,
+            Time::from_millis(1),
+            Time::from_micros(2_500),
+            Duration::from_micros(20),
+        )
+        .pause_storm(
+            storm,
+            DATA_PRIORITY,
+            Time::from_micros(7_500),
+            Time::from_millis(9),
+            Duration::from_micros(20),
+        );
+    net.install_faults(&plan, FaultConfig::default());
+    net.run_until(Time::from_millis(15));
+
+    let st = net.switch_stats(s1);
+    assert_eq!(st.watchdog_trips, 2, "one trip per storm, counted twice");
+    assert_eq!(st.watchdog_restores, 2, "and one restore per storm");
+    // Telemetry agrees with the per-switch stats.
+    assert_eq!(net.metric("watchdog_trips"), 2);
+    assert_eq!(net.metric("watchdog_restores"), 2);
+    // After the last restore the port is healthy again: traffic flows.
+    let delivered_at_end = net.flow_stats(f).delivered_bytes;
+    net.run_until(Time::from_millis(17));
+    assert!(
+        net.flow_stats(f).delivered_bytes > delivered_at_end,
+        "the restored port keeps forwarding"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// Any plan accepted by `FaultPlan::validate` replays
+    /// deterministically: two simulations of the same topology, workload
+    /// and plan agree event-for-event and byte-for-byte.
+    #[test]
+    fn accepted_plans_replay_deterministically(
+        seed in 0u64..1_000,
+        flap_at in 200u64..3_000,
+        down_for in 100u64..900,
+        storm_from in 1_000u64..4_000,
+        storm_len in 500u64..2_000,
+        err_ppm in 1u64..50_000,
+    ) {
+        let run = || {
+            let mut b = NetworkBuilder::new(seed);
+            let mut cfg = SwitchConfig::paper_default();
+            cfg.watchdog = Some(PfcWatchdogConfig::default());
+            let s1 = b.switch(cfg);
+            let h1 = b.host(host_cfg());
+            let h2 = b.host(host_cfg());
+            let h3 = b.host(host_cfg());
+            let d = Duration::from_micros(1);
+            let l1 = b.connect(h1, s1, Bandwidth::gbps(40), d);
+            b.connect(h2, s1, Bandwidth::gbps(40), d);
+            b.connect(h3, s1, Bandwidth::gbps(40), d);
+            let mut net = b.build();
+            let f1 = net.add_flow(h1, h2, DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+            let f2 = net.add_flow(h3, h2, DATA_PRIORITY, |l| Box::new(NoCc::new(l)));
+            net.send_message(f1, 500_000, Time::ZERO);
+            net.send_message(f2, 500_000, Time::from_micros(50));
+            let plan = FaultPlan::new()
+                .link_flap(
+                    l1,
+                    Time::from_micros(flap_at),
+                    Duration::from_micros(down_for),
+                    Duration::from_micros(down_for + 200),
+                    2,
+                )
+                .bit_error(Time::from_micros(100), l1, err_ppm as f64 / 1e6)
+                .bit_error(Time::from_micros(5_000), l1, 0.0)
+                .pause_storm(
+                    h2,
+                    DATA_PRIORITY,
+                    Time::from_micros(storm_from),
+                    Time::from_micros(storm_from + storm_len),
+                    Duration::from_micros(20),
+                );
+            assert!(plan.validate().is_ok());
+            net.install_faults(&plan, FaultConfig::default());
+            net.run_until(Time::from_millis(12));
+            (
+                net.events_executed(),
+                net.flow_stats(f1).delivered_bytes,
+                net.flow_stats(f2).delivered_bytes,
+                net.metric("watchdog_trips"),
+                net.fault_stats().transitions,
+            )
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a, b, "replay must be exact");
+    }
 }
