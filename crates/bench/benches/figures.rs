@@ -216,7 +216,7 @@ fn micro(c: &mut Criterion) {
                 },
             );
             s.net.run_until(Time::from_millis(5));
-            black_box(s.net.samples.queue_depths[&(s.switch, port)].values.len())
+            black_box(s.net.queue_timeline(s.switch, port).unwrap().points())
         })
     });
 

@@ -8,7 +8,7 @@ use netsim::buffer::PfcThreshold;
 use netsim::event::PortId;
 use netsim::packet::DATA_PRIORITY;
 use netsim::prelude::*;
-use netsim::stats::{percentile, SamplerConfig};
+use netsim::stats::SamplerConfig;
 use netsim::topology::{star, LinkParams};
 
 /// §5.2's closing claim: the deployed R_AI copes with 16:1 incast;
@@ -65,15 +65,12 @@ pub fn rai_scaling(quick: bool) {
             .iter()
             .map(|&fl| s.net.goodput_gbps(fl, from, end))
             .sum();
-        let qs = &s.net.samples.queue_depths[&(s.switch, port)];
-        let tail: Vec<f64> = qs
-            .times
-            .iter()
-            .zip(&qs.values)
-            .filter(|(t, _)| *t >= &from)
-            .map(|(_, v)| v / 1000.0)
-            .collect();
-        (total, percentile(&tail, 50.0), percentile(&tail, 99.0))
+        let tl = s.net.queue_timeline(s.switch, port).expect("sampled port");
+        (
+            total,
+            tl.weighted_percentile(50.0, from) / 1000.0,
+            tl.weighted_percentile(99.0, from) / 1000.0,
+        )
     });
     for (&(k, _, label), &(total, p50, p99)) in grid.iter().zip(&results) {
         println!("{k:>7}: {label:>8} | {total:>10.2} {p50:>10.1} {p99:>10.1}");

@@ -3,6 +3,7 @@
 //! the packet simulator and the DDE model.
 
 use crate::common::{banner, mean, CcChoice};
+use crate::report;
 use fluid::model::{FlowState, FluidSim};
 use fluid::params::FluidParams;
 use netsim::packet::DATA_PRIORITY;
@@ -45,7 +46,10 @@ pub fn run(quick: bool) {
         },
     );
     s.net.run_until(Time::from_millis(end_ms));
-    let sim = &s.net.samples.flow_rates[&f2];
+    if report::dash_enabled() {
+        report::put_dash(&s.net.dashboard("fig10: joining sender (packet sim)"));
+    }
+    let sim = s.net.flow_rate_timeline(f2).expect("sampled").series();
 
     // --- fluid model ---
     let params = FluidParams::paper_40g();

@@ -9,12 +9,14 @@
 //!   and stable.
 
 use crate::common::{banner, mean, stddev, CcChoice};
+use crate::report;
 use crate::runner::par_map;
 use dcqcn::params::{red_cutoff_strawman, red_deployed, DcqcnParams};
 use netsim::ecn::RedConfig;
-use netsim::packet::DATA_PRIORITY;
+
+use netsim::packet::{FlowId, DATA_PRIORITY};
 use netsim::stats::SamplerConfig;
-use netsim::topology::{star, LinkParams};
+use netsim::topology::{star, LinkParams, Star};
 use netsim::units::{Duration, Time};
 
 struct Config {
@@ -50,9 +52,9 @@ fn configs() -> Vec<Config> {
     ]
 }
 
-/// One run: flow 1 starts at 0, flow 2 joins later; returns per-flow
-/// tail-mean rate and rate stddev.
-fn run_one(params: DcqcnParams, red: RedConfig, end: Duration, seed: u64) -> [(f64, f64); 2] {
+/// Builds and runs one two-flow staggered-join sim, returning the star
+/// and the flows (flow 1 starts at 0, flow 2 joins at 50 ms).
+fn sim_run(params: DcqcnParams, red: RedConfig, end: Duration, seed: u64) -> (Star, [FlowId; 2]) {
     let cc = CcChoice::Dcqcn(params);
     let mut sw = cc.switch_config(true, false);
     sw.red = red;
@@ -70,9 +72,15 @@ fn run_one(params: DcqcnParams, red: RedConfig, end: Duration, seed: u64) -> [(f
         },
     );
     s.net.run_until(Time::ZERO + end);
+    (s, [f1, f2])
+}
+
+/// One run: returns per-flow tail-mean rate and rate stddev.
+fn run_one(params: DcqcnParams, red: RedConfig, end: Duration, seed: u64) -> [(f64, f64); 2] {
+    let (s, [f1, f2]) = sim_run(params, red, end, seed);
     let cutoff = end.as_secs_f64() / 2.0;
     [f1, f2].map(|fl| {
-        let series = &s.net.samples.flow_rates[&fl];
+        let series = s.net.flow_rate_timeline(fl).expect("sampled").series();
         let tail: Vec<f64> = series
             .times
             .iter()
@@ -109,4 +117,12 @@ pub fn run(quick: bool) {
     }
     println!("paper: (a) unfair; (b) fair; (c) fair but unstable (randomness of");
     println!("marking); (d) deployed combination — fair and stable.");
+    if report::dash_enabled() {
+        // Serial representative rerun of the deployed configuration (d),
+        // on the dispatch thread, so the dashboard bytes cannot depend on
+        // REPRO_THREADS.
+        let d = &configs[3];
+        let (s, _) = sim_run(d.params, d.red, end, 31);
+        report::put_dash(&s.net.dashboard("fig13 (d): fast timer + RED-ECN"));
+    }
 }

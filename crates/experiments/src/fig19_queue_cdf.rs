@@ -6,17 +6,18 @@
 //! p* > P_max), so the DCQCN tail grows.
 
 use crate::common::{banner, CcChoice, RunScale};
+use crate::report;
 use crate::runner::par_map;
 use baselines::dctcp::DctcpParams;
 use netsim::event::PortId;
 use netsim::packet::DATA_PRIORITY;
-use netsim::stats::{percentile, SamplerConfig};
-use netsim::topology::{star, LinkParams};
+use netsim::stats::SamplerConfig;
+use netsim::topology::{star, LinkParams, Star};
 use netsim::units::{Duration, Time};
 
-/// Runs an `n`:1 incast and returns queue-depth samples (KB) at the
-/// receiver's switch port.
-fn queue_samples(cc: CcChoice, n: usize, duration: Duration, seed: u64) -> Vec<f64> {
+/// Builds and runs an `n`:1 incast with queue sampling at the receiver's
+/// switch port, returning the star and the sampled port.
+fn incast_sim(cc: CcChoice, n: usize, duration: Duration, seed: u64) -> (Star, PortId) {
     let mut s = star(
         n + 1,
         LinkParams::default(),
@@ -40,16 +41,23 @@ fn queue_samples(cc: CcChoice, n: usize, duration: Duration, seed: u64) -> Vec<f
         },
     );
     s.net.run_until(Time::ZERO + duration);
-    let series = &s.net.samples.queue_depths[&(s.switch, port)];
+    (s, port)
+}
+
+/// Runs an `n`:1 incast and returns queue-depth tail stats (KB) at the
+/// receiver's switch port: `[p50, p90, p99, mean]`, taken over the
+/// sampled timeline after the line-rate-start transient.
+fn queue_stats(cc: CcChoice, n: usize, duration: Duration, seed: u64) -> [f64; 4] {
+    let (s, port) = incast_sim(cc, n, duration, seed);
     // Skip the line-rate-start transient.
-    let cut = duration.as_secs_f64() / 4.0;
-    series
-        .times
-        .iter()
-        .zip(&series.values)
-        .filter(|(t, _)| t.as_secs_f64() >= cut)
-        .map(|(_, v)| v / 1000.0)
-        .collect()
+    let cut = Time::ZERO + duration / 4;
+    let tl = s.net.queue_timeline(s.switch, port).expect("sampled port");
+    [
+        tl.weighted_percentile(50.0, cut) / 1000.0,
+        tl.weighted_percentile(90.0, cut) / 1000.0,
+        tl.weighted_percentile(99.0, cut) / 1000.0,
+        tl.mean_from(cut) / 1000.0,
+    ]
 }
 
 /// Runs the experiment.
@@ -71,20 +79,19 @@ pub fn run(quick: bool) {
         .iter()
         .flat_map(|&n| ccs.iter().map(move |&cc| (n, cc)))
         .collect();
-    let samples = par_map(&grid, |&(n, cc)| queue_samples(cc, n, duration, 3));
-    for (&(n, cc), q) in grid.iter().zip(&samples) {
-        let mean = q.iter().sum::<f64>() / q.len() as f64;
+    let stats = par_map(&grid, |&(n, cc)| queue_stats(cc, n, duration, 3));
+    for (&(n, cc), &[p50, p90v, p99, mean]) in grid.iter().zip(&stats) {
         println!(
             "{:>4}:1 {:<8} | {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
             n,
             cc.label(),
-            percentile(q, 50.0),
-            percentile(q, 90.0),
-            percentile(q, 99.0),
+            p50,
+            p90v,
+            p99,
             mean
         );
         if n == 2 {
-            p90.push(percentile(q, 90.0));
+            p90.push(p90v);
         }
     }
     println!(
@@ -93,4 +100,10 @@ pub fn run(quick: bool) {
     );
     println!("DCTCP rides its 160 KB cut-off threshold; DCQCN's hardware pacing");
     println!("permits the shallow 5 KB K_min and a far shorter queue.");
+    if report::dash_enabled() {
+        // Serial representative rerun (2:1 DCQCN) on the dispatch thread,
+        // so the dashboard bytes cannot depend on REPRO_THREADS.
+        let (s, _) = incast_sim(CcChoice::dcqcn_paper(), 2, duration, 3);
+        report::put_dash(&s.net.dashboard("fig19: 2:1 incast, DCQCN"));
+    }
 }

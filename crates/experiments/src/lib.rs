@@ -13,6 +13,7 @@
 pub mod bench_core;
 pub mod chaos;
 pub mod common;
+pub mod compare;
 pub mod ext_attribution;
 pub mod ext_faults;
 pub mod extensions;

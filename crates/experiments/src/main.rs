@@ -1,10 +1,12 @@
 //! `repro` — regenerate every table and figure of the DCQCN paper.
 //!
 //! ```text
-//! repro <id>... [--quick] [--json <dir>] [--trace <dir>]
+//! repro <id>... [--quick] [--json <dir>] [--trace <dir>] [--dash <dir>]
 //! repro all [--quick]                    run every experiment
 //! repro list                             list experiment ids
 //! repro bench-core [--quick] [--label <name>]   event-core speed snapshot
+//! repro compare <a.json> <b.json> [..]   diff two telemetry reports
+//! repro bench-trajectory <dir>           check BENCH_*.json for slowdowns
 //! ```
 //!
 //! Several positional ids run in order: `repro fig3 fig4 fig9`. Unknown
@@ -14,16 +16,24 @@
 //! `--json <dir>` additionally writes one machine-readable report per
 //! experiment to `<dir>/<id>.json`; `--trace <dir>` writes a Chrome
 //! trace-event file (`<dir>/<id>.trace.json`, loadable in Perfetto or
-//! `about://tracing`) for the experiments that export a causal trace.
-//! Both are deterministic byte-for-byte across `REPRO_THREADS` settings
+//! `about://tracing`) for the experiments that export a causal trace;
+//! `--dash <dir>` writes a dependency-free single-file HTML dashboard
+//! (`<dir>/<id>.html`) for the experiments that render one. All three
+//! are deterministic byte-for-byte across `REPRO_THREADS` settings
 //! (see DESIGN.md, "Telemetry" and "Causal tracing").
 
 use std::path::Path;
 use std::time::Instant;
 
 fn usage() {
-    eprintln!("usage: repro <id>...|all|list [--quick] [--json <dir>] [--trace <dir>]");
+    eprintln!(
+        "usage: repro <id>...|all|list [--quick] [--json <dir>] [--trace <dir>] [--dash <dir>]"
+    );
     eprintln!("       repro bench-core [--quick] [--label <name>]");
+    eprintln!(
+        "       repro compare <a.json> <b.json> [--rel-pct <p>] [--abs <v>] [--ignore <key>]"
+    );
+    eprintln!("       repro bench-trajectory <dir> [--strict]");
     eprintln!("       repro chaos [--seed <n>] [--cases <n>] [--quick] [--out <dir>]");
     eprintln!("       repro chaos --replay <file>");
     eprintln!("ids: {}", experiments::ALL.join(" "));
@@ -37,10 +47,18 @@ fn main() {
     if args.first().map(String::as_str) == Some("chaos") {
         std::process::exit(experiments::chaos::cli(&args[1..]));
     }
+    // `compare` and `bench-trajectory` likewise own their flags.
+    if args.first().map(String::as_str) == Some("compare") {
+        std::process::exit(experiments::compare::cli(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("bench-trajectory") {
+        std::process::exit(experiments::compare::trajectory_cli(&args[1..]));
+    }
     let mut quick = false;
     let mut ids: Vec<&str> = Vec::new();
     let mut json_dir: Option<&str> = None;
     let mut trace_dir: Option<&str> = None;
+    let mut dash_dir: Option<&str> = None;
     let mut label: Option<&str> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -68,6 +86,13 @@ fn main() {
                 Some(d) => trace_dir = Some(d.as_str()),
                 None => {
                     eprintln!("--trace requires an output directory");
+                    std::process::exit(2);
+                }
+            },
+            "--dash" => match it.next() {
+                Some(d) => dash_dir = Some(d.as_str()),
+                None => {
+                    eprintln!("--dash requires an output directory");
                     std::process::exit(2);
                 }
             },
@@ -114,6 +139,12 @@ fn main() {
     if let Some(dir) = trace_dir {
         if let Err(e) = experiments::report::set_trace_dir(Path::new(dir)) {
             eprintln!("cannot create trace directory {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(dir) = dash_dir {
+        if let Err(e) = experiments::report::set_dash_dir(Path::new(dir)) {
+            eprintln!("cannot create dashboard directory {dir}: {e}");
             std::process::exit(1);
         }
     }

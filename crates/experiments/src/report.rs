@@ -22,6 +22,7 @@ use std::sync::Mutex;
 struct State {
     dir: Option<PathBuf>,
     trace_dir: Option<PathBuf>,
+    dash_dir: Option<PathBuf>,
     capture: bool,
     current: Option<Vec<(String, Json)>>,
     current_id: Option<String>,
@@ -31,6 +32,7 @@ struct State {
 static STATE: Mutex<State> = Mutex::new(State {
     dir: None,
     trace_dir: None,
+    dash_dir: None,
     capture: false,
     current: None,
     current_id: None,
@@ -79,6 +81,37 @@ pub fn put_trace(trace: &Json) {
     };
     let path = dir.join(format!("{id}.trace.json"));
     if let Err(e) = std::fs::write(&path, trace.render()) {
+        eprintln!("report: cannot write {}: {e}", path.display());
+    }
+}
+
+/// Enables dashboard emission (`repro <id> --dash <dir>`): an experiment
+/// that renders a dashboard writes `<dir>/<id>.html`. Creates the
+/// directory if needed.
+pub fn set_dash_dir(dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    STATE.lock().unwrap().dash_dir = Some(dir.to_path_buf());
+    Ok(())
+}
+
+/// Is a dashboard sink active? Experiments gate their (serial)
+/// dashboard-producing representative runs on this.
+pub fn dash_enabled() -> bool {
+    STATE.lock().unwrap().dash_dir.is_some()
+}
+
+/// Writes the dispatched experiment's dashboard to `<dash dir>/<id>.html`
+/// (no-op without a dashboard sink). The render is a pure function of the
+/// run results and experiments render from the dispatch thread, so the
+/// file is byte-identical across `REPRO_THREADS` settings (the CI
+/// `dash-determinism` job pins this).
+pub fn put_dash(dash: &netsim::telemetry::Dashboard) {
+    let s = STATE.lock().unwrap();
+    let (Some(dir), Some(id)) = (&s.dash_dir, &s.current_id) else {
+        return;
+    };
+    let path = dir.join(format!("{id}.html"));
+    if let Err(e) = std::fs::write(&path, dash.render()) {
         eprintln!("report: cannot write {}: {e}", path.display());
     }
 }

@@ -1,0 +1,165 @@
+//! The `repro compare` / `repro bench-trajectory` exit-code contract,
+//! driven through the real binary: self-diff is clean (exit 0), an
+//! injected counter regression fails (exit 1), tolerances forgive small
+//! drift, and the bench trajectory flags >10% events/sec drops.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-compare-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write(dir: &Path, name: &str, text: &str) -> PathBuf {
+    let p = dir.join(name);
+    std::fs::write(&p, text).unwrap();
+    p
+}
+
+const BASE: &str = r#"{
+  "id": "fig19",
+  "metrics": {
+    "counters": {
+      "ecn_marks": 1200,
+      "pause_tx": 40
+    },
+    "wall_ms": 917
+  },
+  "quick": true
+}
+"#;
+
+#[test]
+fn self_diff_exits_zero() {
+    let dir = tmp_dir("self");
+    let a = write(&dir, "a.json", BASE);
+    let status = repro().arg("compare").arg(&a).arg(&a).status().unwrap();
+    assert_eq!(status.code(), Some(0), "a report always matches itself");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn injected_counter_regression_exits_nonzero() {
+    let dir = tmp_dir("regress");
+    let a = write(&dir, "a.json", BASE);
+    let b = write(&dir, "b.json", &BASE.replace("1200", "1400"));
+    let out = repro().arg("compare").arg(&a).arg(&b).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "regression must fail the diff");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("metrics.counters.ecn_marks"),
+        "diff names the regressed leaf:\n{stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wall_clock_noise_is_ignored_and_tolerances_forgive() {
+    let dir = tmp_dir("tol");
+    let a = write(&dir, "a.json", BASE);
+    // wall_ms is in the default ignore list; pause_tx drifts by 2.5%.
+    let b = write(
+        &dir,
+        "b.json",
+        &BASE
+            .replace("917", "2048")
+            .replace("\"pause_tx\": 40", "\"pause_tx\": 41"),
+    );
+    let strict = repro().arg("compare").arg(&a).arg(&b).status().unwrap();
+    assert_eq!(
+        strict.code(),
+        Some(1),
+        "2.5% drift differs at default tolerance"
+    );
+    let loose = repro()
+        .args(["compare"])
+        .arg(&a)
+        .arg(&b)
+        .args(["--rel-pct", "5"])
+        .status()
+        .unwrap();
+    assert_eq!(loose.code(), Some(0), "--rel-pct 5 forgives 2.5% drift");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_file_is_a_usage_error() {
+    let status = repro()
+        .args(["compare", "/nonexistent/a.json", "/nonexistent/b.json"])
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(2));
+}
+
+fn bench_snapshot(label: &str, events_per_sec: u64) -> String {
+    format!(
+        r#"{{
+  "label": "{label}",
+  "profile": "release",
+  "quick": false,
+  "schema": "bench-core-v1",
+  "scenarios": [
+    {{
+      "allocations": 10,
+      "checksum": 12345,
+      "events_executed": 1000000,
+      "events_per_sec": {events_per_sec},
+      "name": "queue_churn",
+      "peak_pending_events": 64,
+      "sim_time_us": 1000.0,
+      "wall_ms": 50.0
+    }}
+  ]
+}}
+"#
+    )
+}
+
+#[test]
+fn trajectory_warns_on_drop_and_strict_fails() {
+    let dir = tmp_dir("traj");
+    write(&dir, "BENCH_pr1.json", &bench_snapshot("pr1", 10_000_000));
+    write(&dir, "BENCH_pr2.json", &bench_snapshot("pr2", 8_000_000));
+    // 20% drop: plain run reports it but exits 0; --strict exits 1.
+    let out = repro().arg("bench-trajectory").arg(&dir).output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("queue_churn"),
+        "warning names the scenario:\n{text}"
+    );
+    let strict = repro()
+        .arg("bench-trajectory")
+        .arg(&dir)
+        .arg("--strict")
+        .status()
+        .unwrap();
+    assert_eq!(
+        strict.code(),
+        Some(1),
+        "--strict turns warnings into failure"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trajectory_is_quiet_when_throughput_holds() {
+    let dir = tmp_dir("flat");
+    write(&dir, "BENCH_pr1.json", &bench_snapshot("pr1", 10_000_000));
+    write(&dir, "BENCH_pr2.json", &bench_snapshot("pr2", 9_500_000));
+    // 5% is within the 10% tolerance band.
+    let status = repro()
+        .arg("bench-trajectory")
+        .arg(&dir)
+        .arg("--strict")
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(0));
+    std::fs::remove_dir_all(&dir).ok();
+}

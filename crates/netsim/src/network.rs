@@ -12,12 +12,14 @@ use crate::port::Attachment;
 use crate::rng::SplitMix64;
 use crate::routing::{compute_routes_masked, Edge};
 use crate::slab::PacketPool;
-use crate::stats::{FlowStats, SampledSeries, SamplerConfig, SwitchStats};
+use crate::stats::{FlowStats, SamplerConfig, SwitchStats};
 use crate::switch::{Switch, SwitchConfig};
 use crate::telemetry::profile::Profiler;
 use crate::telemetry::recorder::{FlightDump, FlightRecorder};
+use crate::telemetry::registry::CounterId;
 use crate::telemetry::spans::{CongestionTree, Spans, NUM_SPAN_STATES};
-use crate::telemetry::{Json, Metrics};
+use crate::telemetry::timeline::{Timeline, TimelineSet, TrackId, TrackKind, DEFAULT_POINT_BUDGET};
+use crate::telemetry::{Dashboard, Json, Metrics, Series};
 use crate::trace::{TraceEvent, TraceKind, Tracer};
 use crate::units::{Bandwidth, Duration, Time};
 use std::collections::HashMap;
@@ -252,9 +254,9 @@ impl NetworkBuilder {
             flow_locator: HashMap::new(),
             flow_order: Vec::new(),
             next_flow_id: 0,
-            sampler: SamplerConfig::default(),
+            sampler: Sampler::default(),
             sample_interval: None,
-            samples: SampledSeries::default(),
+            timelines: TimelineSet::new(),
             hooks: Vec::new(),
             profiler: Profiler::new(),
             dumped_violations: 0,
@@ -263,14 +265,52 @@ impl NetworkBuilder {
     }
 }
 
+/// A flow whose instantaneous CC rate the sampler records, resolved to
+/// its host/slot once at registration so the per-tick read is two array
+/// indexes.
+#[derive(Debug, Clone, Copy)]
+struct RateTap {
+    flow: FlowId,
+    host: NodeId,
+    slot: usize,
+    track: TrackId,
+}
+
+/// A registry counter sampled as per-interval deltas (PAUSE/ECN/CNP/drop
+/// rates). `prev` is the counter value at the previous tick.
+#[derive(Debug, Clone, Copy)]
+struct CounterTap {
+    id: CounterId,
+    track: TrackId,
+    prev: u64,
+}
+
+/// The periodic sampler's resolved state: every watched quantity bound
+/// to its timeline track at `enable_sampling` time (cold), so
+/// `take_sample` is pure index arithmetic — no map lookups, no
+/// allocation, matching the registry's hot-path discipline.
+#[derive(Debug, Clone, Default)]
+struct Sampler {
+    /// Record delivered bytes for every flow (including ones added after
+    /// sampling was enabled).
+    all: bool,
+    queues: Vec<(NodeId, PortId, TrackId)>,
+    rates: Vec<RateTap>,
+    counters: Vec<CounterTap>,
+    /// Delivered-bytes track per flow, indexed by flow id (`None` for
+    /// unsampled flows).
+    bytes: Vec<Option<TrackId>>,
+}
+
 /// A fully built network plus its simulation state.
 pub struct Network {
     /// All nodes.
     pub nodes: Vec<Node>,
     /// Event queue, RNG, per-flow stats.
     pub ctx: Ctx,
-    /// Sampled series (populated when sampling is enabled).
-    pub samples: SampledSeries,
+    /// Bounded-memory time-series tracks (populated when sampling is
+    /// enabled; see `telemetry::timeline`).
+    pub timelines: TimelineSet,
     /// All links, indexed by [`LinkId`] (declaration order).
     edges: Vec<Edge>,
     /// Route destinations (every host), kept for failover recomputation.
@@ -284,7 +324,7 @@ pub struct Network {
     /// collecting and sorting `flow_stats` keys every tick.
     flow_order: Vec<FlowId>,
     next_flow_id: u64,
-    sampler: SamplerConfig,
+    sampler: Sampler,
     sample_interval: Option<Duration>,
     hooks: Vec<Option<Hook>>,
     /// Event-loop self-profiler (`--features profile`; no-op otherwise).
@@ -363,6 +403,12 @@ impl Network {
         self.flow_locator.insert(id, (src, idx));
         self.flow_order.push(id);
         self.ctx.stats(id); // materialize the flow's counters
+        if self.sample_interval.is_some() && self.sampler.all {
+            // Sampling all flows: bind the newcomer to its bytes track
+            // so flows added mid-run are recorded too.
+            let track = self.bytes_track(id);
+            self.set_bytes_track(id, track);
+        }
         id
     }
 
@@ -393,21 +439,72 @@ impl Network {
 
     /// Average receiver goodput of a flow over `[from, to]`, in Gbps,
     /// computed from delivered bytes. Requires `from < to`.
+    ///
+    /// Uses the flow's sampled delivered-bytes timeline when available
+    /// (exact at the boundaries while the track's bucket width is finer
+    /// than the sampling interval — true for every experiment cadence in
+    /// the harness), else the flow's total counters.
     pub fn goodput_gbps(&self, flow: FlowId, from: Time, to: Time) -> f64 {
-        // Uses the sampled series when available, else total counters.
-        if let Some(series) = self.samples.flow_bytes.get(&flow) {
-            let at = |t: Time| -> f64 {
-                match series.times.binary_search(&t) {
-                    Ok(i) => series.values[i],
-                    Err(0) => 0.0,
-                    Err(i) => series.values[i - 1],
-                }
-            };
-            let bytes = at(to) - at(from);
-            return bytes * 8.0 / (to - from).as_secs_f64() / 1e9;
+        let dt = (to - from).as_secs_f64();
+        if let Some(tl) = self.flow_bytes_timeline(flow) {
+            if tl.count() > 0 {
+                let at = |t: Time| tl.value_at(t).unwrap_or(0.0);
+                return (at(to) - at(from)) * 8.0 / dt / 1e9;
+            }
         }
         let st = &self.ctx.flow_stats[flow.0 as usize];
-        st.delivered_bytes as f64 * 8.0 / (to - from).as_secs_f64() / 1e9
+        st.delivered_bytes as f64 * 8.0 / dt / 1e9
+    }
+
+    /// The queue-depth timeline of a watched `(node, port)` (`None`
+    /// unless sampling was enabled with that queue).
+    pub fn queue_timeline(&self, node: NodeId, port: PortId) -> Option<&Timeline> {
+        self.sampler
+            .queues
+            .iter()
+            .find(|&&(n, p, _)| n == node && p == port)
+            .map(|&(_, _, track)| self.timelines.get(track))
+    }
+
+    /// A flow's cumulative delivered-bytes timeline (`None` unless the
+    /// sampler records it).
+    pub fn flow_bytes_timeline(&self, flow: FlowId) -> Option<&Timeline> {
+        self.sampler
+            .bytes
+            .get(flow.0 as usize)
+            .copied()
+            .flatten()
+            .map(|track| self.timelines.get(track))
+    }
+
+    /// A flow's instantaneous CC-rate timeline in Gbps (`None` unless it
+    /// was listed in `SamplerConfig::rate_flows`).
+    pub fn flow_rate_timeline(&self, flow: FlowId) -> Option<&Timeline> {
+        self.sampler
+            .rates
+            .iter()
+            .find(|tap| tap.flow == flow)
+            .map(|tap| self.timelines.get(tap.track))
+    }
+
+    /// Registers (or re-finds) a flow's delivered-bytes track. Cold.
+    fn bytes_track(&mut self, id: FlowId) -> TrackId {
+        self.timelines.track(
+            &format!("flow_bytes/{}", id.0),
+            TrackKind::Cumulative,
+            1.0,
+            DEFAULT_POINT_BUDGET,
+        )
+    }
+
+    /// Binds a flow id to its bytes track, growing the id-indexed slot
+    /// table as needed.
+    fn set_bytes_track(&mut self, id: FlowId, track: TrackId) {
+        let i = id.0 as usize;
+        if i >= self.sampler.bytes.len() {
+            self.sampler.bytes.resize(i + 1, None);
+        }
+        self.sampler.bytes[i] = Some(track);
     }
 
     /// Enables packet-level tracing with a ring of `capacity` events.
@@ -456,9 +553,74 @@ impl Network {
         self.ctx.spans.chrome_trace(self.now())
     }
 
-    /// Enables periodic sampling of queues/flows every `interval`.
+    /// Enables periodic sampling every `interval`: each watched queue,
+    /// flow and counter named by `config` becomes a bounded-memory
+    /// track in [`Network::timelines`]. Registration (name formatting,
+    /// track allocation) happens here, once; the per-tick sample is
+    /// index arithmetic only.
+    ///
+    /// # Panics
+    /// Panics when `config.counters` names a counter that is not
+    /// registered — a config typo, caught up front.
     pub fn enable_sampling(&mut self, interval: Duration, config: SamplerConfig) {
-        self.sampler = config;
+        let use_all = config.all_flows || config.flows.is_empty();
+        let mut sampler = Sampler {
+            all: use_all,
+            ..Sampler::default()
+        };
+        for &(node, port) in &config.queues {
+            let track = self.timelines.track(
+                &format!("queue_bytes/{}:{}", node.0, port.0),
+                TrackKind::Gauge,
+                1.0,
+                DEFAULT_POINT_BUDGET,
+            );
+            sampler.queues.push((node, port, track));
+        }
+        for &id in &config.rate_flows {
+            let (host, slot) = self.flow_locator[&id];
+            let track = self.timelines.track(
+                &format!("flow_rate_gbps/{}", id.0),
+                TrackKind::Gauge,
+                1e-6, // micro-Gbps fixed point
+                DEFAULT_POINT_BUDGET,
+            );
+            sampler.rates.push(RateTap {
+                flow: id,
+                host,
+                slot,
+                track,
+            });
+        }
+        for name in &config.counters {
+            let id = self
+                .ctx
+                .metrics
+                .registry
+                .counter_id(name)
+                .unwrap_or_else(|| panic!("enable_sampling: unknown counter '{name}'"));
+            let track = self.timelines.track(
+                &format!("rate/{name}"),
+                TrackKind::Counter,
+                1.0,
+                DEFAULT_POINT_BUDGET,
+            );
+            sampler.counters.push(CounterTap {
+                id,
+                track,
+                prev: self.ctx.metrics.registry.counter_get(id),
+            });
+        }
+        self.sampler = sampler;
+        let byte_flows: Vec<FlowId> = if use_all {
+            self.flow_order.clone()
+        } else {
+            config.flows.clone()
+        };
+        for id in byte_flows {
+            let track = self.bytes_track(id);
+            self.set_bytes_track(id, track);
+        }
         self.sample_interval = Some(interval);
         let at = self.ctx.queue.now() + interval;
         self.ctx.queue.schedule(at, Event::Sample);
@@ -970,7 +1132,9 @@ impl Network {
                     ("mean", Json::Float(hist.mean())),
                     ("min", Json::UInt(hist.min())),
                     ("p50", Json::UInt(hist.percentile(50.0))),
+                    ("p50_mid", Json::Float(hist.percentile_midpoint(50.0))),
                     ("p99", Json::UInt(hist.percentile(99.0))),
+                    ("p99_mid", Json::Float(hist.percentile_midpoint(99.0))),
                 ]),
             );
         }
@@ -1028,11 +1192,160 @@ impl Network {
             ("gauges", gauges),
             ("histograms", histograms),
             ("sim_time_us", Json::Float(now.as_micros_f64())),
+            ("timelines", self.timelines.summary_json()),
         ]);
         if let Some(profile) = self.profiler.report(self.ctx.queue.peak_pending()) {
             report.push("profile", profile);
         }
         report
+    }
+
+    /// Builds the run's dashboard: one chart per sampled track family
+    /// (queue depth, CC rate, goodput, counter rates), span attribution
+    /// when span tracing is enabled, and a counter-totals table. A pure
+    /// function of the run state, so the rendered file is byte-identical
+    /// across machines and `REPRO_THREADS` settings (the CI
+    /// `dash-determinism` job pins this).
+    pub fn dashboard(&self, title: &str) -> Dashboard {
+        let now = self.now();
+        let mut d = Dashboard::new(title);
+        d.fact("sim time", &format!("{:.1} \u{b5}s", now.as_micros_f64()));
+        d.fact("events", &self.events_executed().to_string());
+        d.fact("flows", &self.flow_order.len().to_string());
+
+        // Queue depth in KB. Plotted at the per-bucket max: the peaks
+        // are what PFC/ECN thresholds react to (Fig. 13-class plots).
+        let qseries: Vec<Series> = self
+            .sampler
+            .queues
+            .iter()
+            .map(|&(node, port, track)| Series {
+                label: format!("sw{}:p{}", node.0, port.0),
+                points: self
+                    .timelines
+                    .get(track)
+                    .buckets()
+                    .map(|b| (b.last.as_micros_f64(), b.max / 1000.0))
+                    .collect(),
+            })
+            .collect();
+        if !qseries.is_empty() {
+            d.chart("queue depth", "KB", qseries);
+        }
+
+        // Instantaneous CC rates (Fig. 7/10/13-class rate traces).
+        let rseries: Vec<Series> = self
+            .sampler
+            .rates
+            .iter()
+            .map(|tap| Series {
+                label: format!("flow {}", tap.flow.0),
+                points: self
+                    .timelines
+                    .get(tap.track)
+                    .buckets()
+                    .map(|b| (b.last.as_micros_f64(), b.mean()))
+                    .collect(),
+            })
+            .collect();
+        if !rseries.is_empty() {
+            d.chart("CC rate", "Gbps", rseries);
+        }
+
+        // Goodput derived from delivered bytes; cap the panel at 8 flows
+        // (deterministically the lowest ids) to keep the file readable.
+        let mut gseries = Vec::new();
+        let mut sampled_flows = 0usize;
+        for (i, slot) in self.sampler.bytes.iter().enumerate() {
+            let Some(track) = slot else { continue };
+            let tl = self.timelines.get(*track);
+            if tl.count() < 2 {
+                continue;
+            }
+            sampled_flows += 1;
+            if gseries.len() >= 8 {
+                continue;
+            }
+            let rates = tl.series().to_rate_gbps();
+            gseries.push(Series {
+                label: format!("flow {i}"),
+                points: rates
+                    .times
+                    .iter()
+                    .zip(&rates.values)
+                    .map(|(t, v)| (t.as_micros_f64(), *v))
+                    .collect(),
+            });
+        }
+        if !gseries.is_empty() {
+            let title = if sampled_flows > 8 {
+                format!("goodput (first 8 of {sampled_flows} flows)")
+            } else {
+                "goodput".to_string()
+            };
+            d.chart(&title, "Gbps", gseries);
+        }
+
+        // Control-plane rates: sampled counter deltas per interval.
+        let cseries: Vec<Series> = self
+            .sampler
+            .counters
+            .iter()
+            .map(|tap| Series {
+                label: self
+                    .timelines
+                    .name(tap.track)
+                    .trim_start_matches("rate/")
+                    .to_string(),
+                points: self
+                    .timelines
+                    .get(tap.track)
+                    .buckets()
+                    .map(|b| (b.last.as_micros_f64(), b.sum))
+                    .collect(),
+            })
+            .collect();
+        if !cseries.is_empty() {
+            d.chart("control frames / interval", "count", cseries);
+        }
+
+        // Span attribution: where each flow's time went (first 8 flows
+        // with any attributed time).
+        if self.ctx.spans.is_enabled() {
+            let categories: Vec<String> = crate::telemetry::spans::SpanState::ALL
+                .iter()
+                .map(|s| s.name().to_string())
+                .collect();
+            let mut rows = Vec::new();
+            for &id in &self.flow_order {
+                if rows.len() >= 8 {
+                    break;
+                }
+                if let Some(parts) = self.ctx.spans.breakdown(id, now) {
+                    let vals: Vec<f64> = parts.iter().map(|p| p.as_secs_f64() * 1e6).collect();
+                    if vals.iter().sum::<f64>() > 0.0 {
+                        rows.push((format!("flow {}", id.0), vals));
+                    }
+                }
+            }
+            if !rows.is_empty() {
+                d.stacked("span attribution (\u{b5}s per state)", categories, rows);
+            }
+        }
+
+        // End-of-run counter totals (nonzero only, registration order).
+        let totals: Vec<(String, String)> = self
+            .ctx
+            .metrics
+            .registry
+            .counters()
+            .filter(|&(_, v)| v > 0)
+            .map(|(name, v)| (name.to_string(), v.to_string()))
+            .collect();
+        if !totals.is_empty() {
+            d.table("counters", totals);
+        }
+        d
     }
 
     fn dispatch(&mut self, event: Event) {
@@ -1117,53 +1430,48 @@ impl Network {
         }
     }
 
+    /// One periodic sampler tick. Every watched quantity was bound to
+    /// its track at `enable_sampling`/`add_flow` time, so this is pure
+    /// index arithmetic plus integer adds — no lookups, no allocation
+    /// (beyond a track's one-time, budget-capped bucket growth).
     fn take_sample(&mut self) {
         let now = self.ctx.queue.now();
-        for &(node, port) in &self.sampler.queues {
-            let depth = match &self.nodes[node.0] {
+        let Network {
+            nodes,
+            ctx,
+            timelines,
+            sampler,
+            ..
+        } = self;
+        for k in 0..sampler.queues.len() {
+            let (node, port, track) = sampler.queues[k];
+            let depth = match &nodes[node.0] {
                 Node::Switch(s) => s.ports[port.0].total_queued_bytes(),
                 Node::Host(h) => h.port.total_queued_bytes(),
             };
-            self.samples
-                .queue_depths
-                .entry((node, port))
-                .or_default()
-                .push(now, depth as f64);
+            timelines.record(track, now, depth);
         }
-        // `flow_order` is kept sorted by construction (sequential ids),
-        // so no per-tick collect+sort; index loops avoid cloning the
-        // sampler's flow lists every sample.
-        let use_all = self.sampler.all_flows || self.sampler.flows.is_empty();
-        let n = if use_all {
-            self.flow_order.len()
-        } else {
-            self.sampler.flows.len()
-        };
-        for k in 0..n {
-            let id = if use_all {
-                self.flow_order[k]
-            } else {
-                self.sampler.flows[k]
+        // `bytes` is indexed by flow id, ascending — same deterministic
+        // order the sorted `flow_order` walk used to give.
+        for i in 0..sampler.bytes.len() {
+            if let Some(track) = sampler.bytes[i] {
+                let bytes = ctx.flow_stats.get(i).map_or(0, |s| s.delivered_bytes);
+                timelines.record(track, now, bytes);
+            }
+        }
+        for k in 0..sampler.rates.len() {
+            let tap = sampler.rates[k];
+            let rate = match &nodes[tap.host.0] {
+                Node::Host(h) => h.flows[tap.slot].current_rate().as_gbps_f64(),
+                Node::Switch(_) => 0.0,
             };
-            let bytes = self
-                .ctx
-                .flow_stats
-                .get(id.0 as usize)
-                .map_or(0, |s| s.delivered_bytes);
-            self.samples
-                .flow_bytes
-                .entry(id)
-                .or_default()
-                .push(now, bytes as f64);
+            timelines.record_f64(tap.track, now, rate);
         }
-        for k in 0..self.sampler.rate_flows.len() {
-            let id = self.sampler.rate_flows[k];
-            let rate = self.flow_rate(id).as_gbps_f64();
-            self.samples
-                .flow_rates
-                .entry(id)
-                .or_default()
-                .push(now, rate);
+        for k in 0..sampler.counters.len() {
+            let tap = &mut sampler.counters[k];
+            let value = ctx.metrics.registry.counter_get(tap.id);
+            timelines.record(tap.track, now, value - tap.prev);
+            tap.prev = value;
         }
     }
 }

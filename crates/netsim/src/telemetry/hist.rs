@@ -118,6 +118,47 @@ impl Histogram {
         bucket_floor(NUM_BUCKETS - 1)
     }
 
+    /// Nearest-rank percentile estimated by the **midpoint rule**: the
+    /// rank's bucket `[2^(b−1), 2^b − 1]` is resolved to its midpoint,
+    /// then clamped to the observed `[min, max]`.
+    ///
+    /// **Error bound.** The true sample lies somewhere in the bucket, so
+    /// the midpoint is off by at most half the bucket width — for bucket
+    /// `b ≥ 1` that is `(2^(b−1) − 1) / 2 < 2^(b−2)`, i.e. **< 50%
+    /// relative error**, halving the ≤ 2× worst case of the lower-bound
+    /// rule ([`Histogram::percentile`]). The clamp makes degenerate
+    /// cases exact: an empty histogram reports 0, a single-valued
+    /// histogram reports that value, and `p = 0` / `p = 100` report
+    /// `min` / `max` whenever the rank resolves to the extreme buckets.
+    /// Bucket 0 (the value 0) has zero width and is always exact.
+    pub fn percentile_midpoint(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((p.clamp(0.0, 100.0) / 100.0 * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        let mut bucket = NUM_BUCKETS - 1;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                bucket = i;
+                break;
+            }
+        }
+        let lo = bucket_floor(bucket);
+        // Inclusive upper bound of the bucket: 2^b − 1 (u64::MAX for the
+        // top bucket), 0 for bucket 0.
+        let hi = if bucket == 0 {
+            0
+        } else if bucket == NUM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << bucket) - 1
+        };
+        let mid = lo as f64 + (hi - lo) as f64 / 2.0;
+        mid.clamp(self.min() as f64, self.max() as f64)
+    }
+
     /// The non-empty buckets, as `(lower_bound, count)` pairs in
     /// ascending value order.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
@@ -176,6 +217,62 @@ mod tests {
         assert_eq!(h.percentile(0.0), 0);
         // 1000 lives in [512, 1023].
         assert_eq!(h.percentile(100.0), 512);
+    }
+
+    #[test]
+    fn midpoint_percentile_empty_and_single() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile_midpoint(50.0), 0.0, "empty → 0");
+        let mut one = Histogram::new();
+        one.observe(100);
+        // One sample: bucket [64, 127] has midpoint 95.5, but the clamp
+        // to [min, max] makes the single-valued case exact.
+        assert_eq!(one.percentile_midpoint(0.0), 100.0);
+        assert_eq!(one.percentile_midpoint(50.0), 100.0);
+        assert_eq!(one.percentile_midpoint(100.0), 100.0);
+        let mut zero = Histogram::new();
+        zero.observe(0);
+        assert_eq!(zero.percentile_midpoint(50.0), 0.0, "bucket 0 is exact");
+    }
+
+    #[test]
+    fn midpoint_percentile_bucket_edges() {
+        // Samples at both edges of bucket [8, 15]: the midpoint 11.5
+        // sits within 50% relative error of either edge.
+        let mut h = Histogram::new();
+        h.observe(8);
+        h.observe(15);
+        let est = h.percentile_midpoint(50.0);
+        assert_eq!(est, 11.5);
+        for truth in [8.0f64, 15.0] {
+            assert!(
+                (est - truth).abs() / truth < 0.5,
+                "≤50% relative error at bucket edge {truth}"
+            );
+        }
+        // Power-of-two sample: 16 opens bucket [16, 31], midpoint 23.5.
+        let mut p = Histogram::new();
+        p.observe(16);
+        p.observe(31);
+        assert_eq!(p.percentile_midpoint(50.0), 23.5);
+        // The clamp keeps the estimate inside the observed range even
+        // when the rank bucket is wider than the data.
+        let mut c = Histogram::new();
+        c.observe(17);
+        c.observe(18);
+        let est = c.percentile_midpoint(99.0);
+        assert!((17.0..=18.0).contains(&est));
+    }
+
+    #[test]
+    fn midpoint_beats_floor_on_upper_half_of_bucket() {
+        // 1000 lives in [512, 1023]: floor rule says 512 (−49%), the
+        // clamped midpoint says min(767.5, max)=767.5 (−23%).
+        let mut h = Histogram::new();
+        h.observe(1000);
+        h.observe(1);
+        assert_eq!(h.percentile(100.0), 512);
+        assert_eq!(h.percentile_midpoint(100.0), 767.5);
     }
 
     #[test]

@@ -24,6 +24,14 @@
 //!   attribution (the FCT decomposition identity), the
 //!   pause-propagation congestion tree, and a deterministic Chrome
 //!   trace-event exporter. Disabled, it costs one branch per hook.
+//! * [`timeline`] — bounded-memory time-series tracks with
+//!   hierarchical downsampling: when a track fills its point budget,
+//!   adjacent buckets merge and resolution halves, so memory is
+//!   `O(budget)` for any horizon. Backs the periodic sampler
+//!   (`Network::enable_sampling`).
+//! * [`dash`] — a dependency-free HTML + inline-SVG dashboard emitter
+//!   rendering timelines and span attribution to a single
+//!   deterministic file (`repro <id> --dash <dir>`).
 //!
 //! The simulator owns one [`Metrics`] per network (see
 //! `Network::telemetry_report`); experiments read it back by handle or
@@ -40,13 +48,16 @@
 //! assert_eq!(m.registry.hist_get(h.queue_depth_bytes).count(), 1);
 //! ```
 
+pub mod dash;
 pub mod hist;
 pub mod json;
 pub mod profile;
 pub mod recorder;
 pub mod registry;
 pub mod spans;
+pub mod timeline;
 
+pub use dash::{Dashboard, Series};
 pub use hist::Histogram;
 pub use json::{fmt_f64, Json};
 pub use profile::{ProfMark, Profiler};
@@ -56,3 +67,4 @@ pub use spans::{
     CongestionTree, FlowSpan, HopSpan, PauseEdge, SpanCompletion, SpanState, Spans, TreeEdge,
     TreeRoot, TreeVictim, NUM_SPAN_STATES,
 };
+pub use timeline::{BucketView, Timeline, TimelineSet, TrackId, TrackKind, DEFAULT_POINT_BUDGET};

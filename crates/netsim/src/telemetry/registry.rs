@@ -121,6 +121,14 @@ impl Registry {
         &self.hists[id.0]
     }
 
+    /// Cold name-based handle lookup (no registration): the hook for
+    /// binding an existing counter to a sampler track once, then reading
+    /// it by id on the hot path.
+    pub fn counter_id(&self, name: &str) -> Option<CounterId> {
+        let i = self.counter_names.iter().position(|&n| n == name)?;
+        Some(CounterId(i))
+    }
+
     /// Cold name-based counter lookup for report code and tests.
     pub fn counter_value(&self, name: &str) -> Option<u64> {
         let i = self.counter_names.iter().position(|&n| n == name)?;

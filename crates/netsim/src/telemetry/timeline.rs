@@ -1,0 +1,639 @@
+//! Deterministic, bounded-memory time-series tracks.
+//!
+//! A [`Timeline`] records `(time, value)` samples into a uniform grid of
+//! buckets anchored at t = 0 whose width is a power of two picoseconds.
+//! When a sample lands past the track's fixed *point budget* (default
+//! [`DEFAULT_POINT_BUDGET`]), adjacent bucket pairs merge and the width
+//! doubles: resolution halves, but memory stays `O(budget)` for **any**
+//! horizon. Each bucket keeps `count`, `sum`, `min` and `max` — all
+//! commutative aggregates — so the stored state is a pure function of the
+//! *multiset* of recorded samples: record order never changes a bucket,
+//! a merge never changes the track total, and two runs that sample the
+//! same values produce byte-identical summaries (pinned by the proptests
+//! in `tests/timeline.rs`).
+//!
+//! Values are recorded as integers (`u64` raw ticks). A per-track `unit`
+//! gives the value of one tick, so fractional quantities (a rate in
+//! Gbps) are recorded in fixed point — e.g. `unit = 1e-6` records
+//! micro-Gbps — keeping every aggregate exact and order-independent;
+//! the float conversion happens only in the read-side views.
+//!
+//! How a merged bucket is *summarized* depends on the [`TrackKind`]:
+//!
+//! * [`TrackKind::Counter`] — per-interval deltas (PAUSE/ECN/CNP/drop
+//!   rates). Representative: the bucket **sum**, which merges conserve.
+//! * [`TrackKind::Gauge`] — instantaneous samples (queue depth, CC
+//!   rate). Representative: the bucket **mean** (`sum/count`); `min`
+//!   and `max` keep the envelope.
+//! * [`TrackKind::Cumulative`] — monotone running totals (delivered
+//!   bytes). Representative: the bucket **max**, which for a
+//!   nondecreasing series is exactly the last sample of the interval.
+//!
+//! A [`TimelineSet`] holds named tracks behind `Copy` [`TrackId`]
+//! handles, mirroring the metrics registry discipline: registration
+//! (name lookup, allocation) is cold, the per-sample record path is an
+//! array index plus integer adds.
+
+use crate::stats::TimeSeries;
+use crate::telemetry::json::Json;
+use crate::units::{Duration, Time};
+
+/// Default per-track point budget: the bucket vector never exceeds this
+/// many entries, no matter the horizon.
+pub const DEFAULT_POINT_BUDGET: usize = 4096;
+
+/// How merged buckets of a track are summarized. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackKind {
+    /// Per-interval deltas; representative = bucket sum.
+    Counter,
+    /// Instantaneous samples; representative = bucket mean.
+    Gauge,
+    /// Monotone running totals; representative = bucket max.
+    Cumulative,
+}
+
+impl TrackKind {
+    /// Stable lowercase name used in JSON summaries.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrackKind::Counter => "counter",
+            TrackKind::Gauge => "gauge",
+            TrackKind::Cumulative => "cumulative",
+        }
+    }
+}
+
+/// Handle to one track of a [`TimelineSet`]. One array index to record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackId(u32);
+
+/// One grid bucket: commutative aggregates only (no `last`, whose value
+/// would depend on record order within the bucket).
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+    /// Latest sample time in the bucket (a max, so order-independent).
+    t_max: u64,
+}
+
+impl Bucket {
+    const EMPTY: Bucket = Bucket {
+        count: 0,
+        sum: 0,
+        min: u64::MAX,
+        max: 0,
+        t_max: 0,
+    };
+
+    #[inline]
+    fn observe(&mut self, t: Time, v: u64) {
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.t_max = self.t_max.max(t.0);
+    }
+
+    fn absorb(&mut self, other: Bucket) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.t_max = self.t_max.max(other.t_max);
+    }
+}
+
+/// A read-side view of one non-empty bucket, with the raw integer
+/// aggregates already converted through the track's `unit`.
+#[derive(Debug, Clone, Copy)]
+pub struct BucketView {
+    /// Inclusive start of the bucket's time interval.
+    pub start: Time,
+    /// Exclusive end of the bucket's time interval.
+    pub end: Time,
+    /// Latest sample time recorded into the interval — exact while the
+    /// bucket width is finer than the sampling cadence.
+    pub last: Time,
+    /// Samples recorded into this interval.
+    pub count: u64,
+    /// Sum of the samples (in track units).
+    pub sum: f64,
+    /// Smallest sample (in track units).
+    pub min: f64,
+    /// Largest sample (in track units).
+    pub max: f64,
+}
+
+impl BucketView {
+    /// Mean of the bucket's samples.
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+}
+
+/// One bounded-memory time-series track. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    kind: TrackKind,
+    /// Value of one raw tick (1.0 for byte/count tracks, 1e-6 for rates
+    /// recorded in micro-units via [`Timeline::record_f64`]).
+    unit: f64,
+    budget: usize,
+    /// log2 of the bucket width in ps. Starts at 0 (1 ps buckets) and
+    /// grows by one per halving.
+    width_log2: u32,
+    /// Lazily grown up to `budget` entries; index `i` covers
+    /// `[i·w, (i+1)·w)` where `w = 1 << width_log2` ps.
+    buckets: Vec<Bucket>,
+    /// Whole-track aggregate — exact, never degraded by merging.
+    total: Bucket,
+}
+
+impl Timeline {
+    /// A new track with the default point budget.
+    pub fn new(kind: TrackKind, unit: f64) -> Timeline {
+        Timeline::with_budget(kind, unit, DEFAULT_POINT_BUDGET)
+    }
+
+    /// A new track with an explicit point budget (≥ 2; smaller budgets
+    /// are clamped). Memory is `O(budget)` forever.
+    pub fn with_budget(kind: TrackKind, unit: f64, budget: usize) -> Timeline {
+        Timeline {
+            kind,
+            unit,
+            budget: budget.max(2),
+            width_log2: 0,
+            buckets: Vec::new(),
+            total: Bucket::EMPTY,
+        }
+    }
+
+    /// Index of the bucket covering `t` at the current width.
+    #[inline]
+    fn index_of(&self, t: Time) -> usize {
+        t.0.checked_shr(self.width_log2).unwrap_or(0) as usize
+    }
+
+    /// Records one raw-tick sample. Hot path: an index plus integer
+    /// adds; the halving loop only runs when the horizon outgrows the
+    /// grid, which happens `O(log horizon)` times per track lifetime.
+    #[inline]
+    pub fn record(&mut self, t: Time, v: u64) {
+        let mut idx = self.index_of(t);
+        while idx >= self.budget {
+            self.halve();
+            idx = self.index_of(t);
+        }
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, Bucket::EMPTY);
+        }
+        self.buckets[idx].observe(t, v);
+        self.total.observe(t, v);
+    }
+
+    /// Records a float sample in track units: quantized to the nearest
+    /// raw tick (`v / unit`). With `unit = 1e-6` this is micro-unit
+    /// fixed point — quantization error ≤ `unit / 2`, and the stored
+    /// integer keeps the track order-independent and exactly summable.
+    #[inline]
+    pub fn record_f64(&mut self, t: Time, v: f64) {
+        let ticks = (v / self.unit).round();
+        debug_assert!(
+            ticks >= 0.0 && ticks <= u64::MAX as f64,
+            "sample out of tick range"
+        );
+        self.record(t, ticks as u64);
+    }
+
+    /// Merges adjacent bucket pairs in place and doubles the width.
+    fn halve(&mut self) {
+        let n = self.buckets.len();
+        let half = n.div_ceil(2);
+        for i in 0..half {
+            let mut merged = self.buckets[2 * i];
+            if 2 * i + 1 < n {
+                merged.absorb(self.buckets[2 * i + 1]);
+            }
+            self.buckets[i] = merged;
+        }
+        self.buckets.truncate(half);
+        self.width_log2 += 1;
+    }
+
+    /// This track's kind.
+    pub fn kind(&self) -> TrackKind {
+        self.kind
+    }
+
+    /// Current bucket width (power of two ps; grows as the run does).
+    pub fn bucket_width(&self) -> Duration {
+        Duration(1u64 << self.width_log2)
+    }
+
+    /// The track's point budget: `capacity_used` never exceeds it.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Grid slots currently allocated (≤ budget — the bounded-memory
+    /// invariant the long-horizon test asserts).
+    pub fn capacity_used(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Number of non-empty buckets (plotted points).
+    pub fn points(&self) -> usize {
+        self.buckets.iter().filter(|b| b.count > 0).count()
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total.count
+    }
+
+    /// Exact sum of all samples (in track units), unaffected by merging.
+    pub fn sum(&self) -> f64 {
+        self.total.sum as f64 * self.unit
+    }
+
+    /// Smallest recorded sample (0 when empty), in track units.
+    pub fn min(&self) -> f64 {
+        if self.total.count == 0 {
+            0.0
+        } else {
+            self.total.min as f64 * self.unit
+        }
+    }
+
+    /// Largest recorded sample (0 when empty), in track units.
+    pub fn max(&self) -> f64 {
+        self.total.max as f64 * self.unit
+    }
+
+    /// Exact mean of all samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total.count == 0 {
+            0.0
+        } else {
+            (self.total.sum as f64 / self.total.count as f64) * self.unit
+        }
+    }
+
+    /// Latest recorded timestamp ([`Time::ZERO`] when empty).
+    pub fn last_time(&self) -> Time {
+        Time(self.total.t_max)
+    }
+
+    fn view(&self, i: usize, b: &Bucket) -> BucketView {
+        let w = 1u64 << self.width_log2;
+        BucketView {
+            start: Time(i as u64 * w),
+            end: Time((i as u64 + 1).saturating_mul(w)),
+            last: Time(b.t_max),
+            count: b.count,
+            sum: b.sum as f64 * self.unit,
+            min: b.min as f64 * self.unit,
+            max: b.max as f64 * self.unit,
+        }
+    }
+
+    /// The non-empty buckets in time order.
+    pub fn buckets(&self) -> impl Iterator<Item = BucketView> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.count > 0)
+            .map(|(i, b)| self.view(i, b))
+    }
+
+    /// A bucket's representative value per the track kind (module docs).
+    pub fn representative(&self, b: &BucketView) -> f64 {
+        match self.kind {
+            TrackKind::Counter => b.sum,
+            TrackKind::Gauge => b.mean(),
+            TrackKind::Cumulative => b.max,
+        }
+    }
+
+    /// The track as a plain [`TimeSeries`]: one point per non-empty
+    /// bucket, stamped at the bucket's latest sample time, valued at its
+    /// representative. The bridge to the legacy series consumers
+    /// (`to_rate_gbps`, trace tables); exact while buckets hold single
+    /// samples.
+    pub fn series(&self) -> TimeSeries {
+        let mut out = TimeSeries::default();
+        for b in self.buckets() {
+            out.push(b.last, self.representative(&b));
+        }
+        out
+    }
+
+    /// Representative value at time `t`: the latest non-empty bucket
+    /// starting at or before `t` (`None` before the first sample).
+    ///
+    /// For a [`TrackKind::Cumulative`] track this is the running total
+    /// as of `t`, at bucket resolution — while the bucket width is
+    /// finer than the sampling interval every bucket holds at most one
+    /// sample and the value is *exact*, which is what keeps
+    /// `Network::goodput_gbps` byte-identical to the pre-timeline
+    /// implementation at the sampling rates the experiments use.
+    pub fn value_at(&self, t: Time) -> Option<f64> {
+        let idx = self.index_of(t).min(self.buckets.len().checked_sub(1)?);
+        self.buckets[..=idx]
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, b)| b.count > 0)
+            .map(|(i, b)| self.representative(&self.view(i, b)))
+    }
+
+    /// Count-weighted nearest-rank percentile of the per-bucket means,
+    /// over buckets starting at or after `from` (`p` in `[0, 100]`; 0.0
+    /// when no samples qualify). The timeline replacement for running
+    /// [`crate::stats::percentile`] over raw sample vectors: each bucket
+    /// contributes its mean with multiplicity `count`, so the estimate
+    /// degrades gracefully (toward the true mean) as buckets merge and
+    /// is exact while buckets hold single samples.
+    pub fn weighted_percentile(&self, p: f64, from: Time) -> f64 {
+        let mut pairs: Vec<(f64, u64)> = self
+            .buckets()
+            .filter(|b| b.start >= from)
+            .map(|b| (b.mean(), b.count))
+            .collect();
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let total: u64 = pairs.iter().map(|&(_, c)| c).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((p.clamp(0.0, 100.0) / 100.0 * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for &(v, c) in &pairs {
+            cum += c;
+            if cum >= rank {
+                return v;
+            }
+        }
+        pairs.last().map_or(0.0, |&(v, _)| v)
+    }
+
+    /// Count-weighted mean over buckets starting at or after `from`
+    /// (0.0 when no samples qualify). Exactly the mean of the qualifying
+    /// samples — bucket sums and counts are never approximated.
+    pub fn mean_from(&self, from: Time) -> f64 {
+        let (mut sum, mut count) = (0u128, 0u64);
+        for (i, b) in self.buckets.iter().enumerate() {
+            if b.count > 0 && Time(i as u64 * (1u64 << self.width_log2)) >= from {
+                sum += b.sum;
+                count += b.count;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            (sum as f64 / count as f64) * self.unit
+        }
+    }
+
+    /// Deterministic JSON summary (the `timelines` section of
+    /// `Network::telemetry_report`; schema in DESIGN.md).
+    pub fn summary_json(&self) -> Json {
+        Json::obj(vec![
+            ("bucket_width_ps", Json::UInt(self.bucket_width().0)),
+            ("count", Json::UInt(self.count())),
+            ("kind", Json::from(self.kind.name())),
+            ("last_ps", Json::UInt(self.total.t_max)),
+            ("max", Json::Float(self.max())),
+            ("mean", Json::Float(self.mean())),
+            ("min", Json::Float(self.min())),
+            ("points", Json::UInt(self.points() as u64)),
+            ("sum", Json::Float(self.sum())),
+        ])
+    }
+}
+
+/// A named collection of [`Timeline`] tracks behind `Copy` handles.
+///
+/// Registration ([`TimelineSet::track`]) is the cold path: it walks the
+/// name list and may allocate. Recording through a [`TrackId`] is one
+/// array index. Iteration is in registration order, which the simulator
+/// keeps deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct TimelineSet {
+    names: Vec<String>,
+    tracks: Vec<Timeline>,
+}
+
+impl TimelineSet {
+    /// An empty set.
+    pub fn new() -> TimelineSet {
+        TimelineSet::default()
+    }
+
+    /// Registers (or re-finds) a track by name. Cold path. A re-find
+    /// keeps the existing track untouched; `kind`/`unit`/`budget` only
+    /// apply to a fresh registration.
+    pub fn track(&mut self, name: &str, kind: TrackKind, unit: f64, budget: usize) -> TrackId {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return TrackId(i as u32);
+        }
+        self.names.push(name.to_string());
+        self.tracks.push(Timeline::with_budget(kind, unit, budget));
+        TrackId((self.tracks.len() - 1) as u32)
+    }
+
+    /// Records a raw-tick sample into a track. Hot path.
+    #[inline]
+    pub fn record(&mut self, id: TrackId, t: Time, v: u64) {
+        self.tracks[id.0 as usize].record(t, v);
+    }
+
+    /// Records a float sample (track units) into a track. Hot path.
+    #[inline]
+    pub fn record_f64(&mut self, id: TrackId, t: Time, v: f64) {
+        self.tracks[id.0 as usize].record_f64(t, v);
+    }
+
+    /// The track behind a handle.
+    pub fn get(&self, id: TrackId) -> &Timeline {
+        &self.tracks[id.0 as usize]
+    }
+
+    /// The registered name behind a handle.
+    pub fn name(&self, id: TrackId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Cold name-based lookup for report code and tests.
+    pub fn by_name(&self, name: &str) -> Option<&Timeline> {
+        let i = self.names.iter().position(|n| n == name)?;
+        Some(&self.tracks[i])
+    }
+
+    /// All tracks as `(name, track)` in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Timeline)> + '_ {
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.tracks.iter())
+    }
+
+    /// Number of registered tracks.
+    pub fn len(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// True when no track is registered.
+    pub fn is_empty(&self) -> bool {
+        self.tracks.is_empty()
+    }
+
+    /// Deterministic JSON summary of every track, keyed by name.
+    pub fn summary_json(&self) -> Json {
+        let mut obj = Json::obj(vec![]);
+        for (name, tl) in self.iter() {
+            obj.push(name, tl.summary_json());
+        }
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bucket_per_sample_while_width_is_fine() {
+        let mut tl = Timeline::new(TrackKind::Gauge, 1.0);
+        for i in 0..10u64 {
+            tl.record(Time(i * 400), i);
+        }
+        assert_eq!(tl.count(), 10);
+        assert_eq!(tl.points(), 10, "1 ps buckets keep samples distinct");
+        assert_eq!(tl.bucket_width(), Duration(1));
+        assert_eq!(tl.sum(), 45.0);
+        assert_eq!(tl.min(), 0.0);
+        assert_eq!(tl.max(), 9.0);
+    }
+
+    #[test]
+    fn halving_conserves_totals_and_bounds_memory() {
+        let mut tl = Timeline::with_budget(TrackKind::Counter, 1.0, 8);
+        for i in 0..1000u64 {
+            tl.record(Time(i * 7), 3);
+        }
+        assert!(tl.capacity_used() <= 8);
+        assert_eq!(tl.sum(), 3000.0, "merges never lose counted events");
+        assert_eq!(tl.count(), 1000);
+        let bucket_sum: f64 = tl.buckets().map(|b| b.sum).sum();
+        assert_eq!(bucket_sum, 3000.0);
+        assert!(tl.bucket_width().0.is_power_of_two());
+    }
+
+    #[test]
+    fn representative_follows_kind() {
+        let mut c = Timeline::with_budget(TrackKind::Counter, 1.0, 2);
+        let mut g = Timeline::with_budget(TrackKind::Gauge, 1.0, 2);
+        let mut m = Timeline::with_budget(TrackKind::Cumulative, 1.0, 2);
+        for (t, v) in [(0u64, 10u64), (1, 20), (2, 60)] {
+            c.record(Time(t), v);
+            g.record(Time(t), v);
+            m.record(Time(t), v);
+        }
+        // Everything merged into few buckets; totals stay exact.
+        let csum: f64 = c.buckets().map(|b| c.representative(&b)).sum();
+        assert_eq!(csum, 90.0, "counter representatives telescope to the sum");
+        for b in g.buckets() {
+            assert!(b.min <= g.representative(&b) && g.representative(&b) <= b.max);
+        }
+        let last = m.buckets().last().unwrap();
+        assert_eq!(m.representative(&last), 60.0, "cumulative keeps the peak");
+    }
+
+    #[test]
+    fn value_at_is_a_step_function() {
+        let mut tl = Timeline::new(TrackKind::Cumulative, 1.0);
+        tl.record(Time(1000), 5);
+        tl.record(Time(3000), 9);
+        assert_eq!(tl.value_at(Time(500)), None, "before the first sample");
+        assert_eq!(tl.value_at(Time(1000)), Some(5.0));
+        assert_eq!(tl.value_at(Time(2999)), Some(5.0));
+        assert_eq!(tl.value_at(Time(3000)), Some(9.0));
+        assert_eq!(tl.value_at(Time(u64::MAX)), Some(9.0), "past the end");
+        assert_eq!(Timeline::new(TrackKind::Gauge, 1.0).value_at(Time(0)), None);
+    }
+
+    #[test]
+    fn fixed_point_units_round_trip() {
+        let mut tl = Timeline::new(TrackKind::Gauge, 1e-6);
+        tl.record_f64(Time(10), 40.0);
+        tl.record_f64(Time(20), 19.999_999_5);
+        assert!((tl.max() - 40.0).abs() < 1e-9);
+        assert!((tl.min() - 20.0).abs() < 1e-6, "quantized to the tick");
+    }
+
+    #[test]
+    fn weighted_percentile_and_mean_from() {
+        let mut tl = Timeline::new(TrackKind::Gauge, 1.0);
+        for i in 1..=100u64 {
+            tl.record(Time(i * 10), i);
+        }
+        assert_eq!(tl.weighted_percentile(50.0, Time::ZERO), 50.0);
+        assert_eq!(tl.weighted_percentile(90.0, Time::ZERO), 90.0);
+        // From half way: samples 51..=100 remain.
+        assert_eq!(tl.weighted_percentile(0.0, Time(510)), 51.0);
+        assert_eq!(tl.mean_from(Time(510)), 75.5);
+        assert_eq!(tl.mean_from(Time(u64::MAX)), 0.0);
+        assert_eq!(tl.weighted_percentile(50.0, Time(u64::MAX)), 0.0);
+    }
+
+    #[test]
+    fn series_bridges_to_rates() {
+        let mut tl = Timeline::new(TrackKind::Cumulative, 1.0);
+        // 500 KB every 100 µs = 40 Gbps.
+        for i in 0..5u64 {
+            tl.record(Time::from_micros(i * 100), i * 500_000);
+        }
+        let r = tl.series().to_rate_gbps();
+        assert_eq!(r.values.len(), 4);
+        for v in &r.values {
+            assert!((v - 40.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn set_registration_dedupes_and_iterates_in_order() {
+        let mut set = TimelineSet::new();
+        let a = set.track("a", TrackKind::Gauge, 1.0, 16);
+        let b = set.track("b", TrackKind::Counter, 1.0, 16);
+        let a2 = set.track("a", TrackKind::Counter, 1.0, 999);
+        assert_eq!(a, a2, "re-registration re-finds");
+        assert_eq!(set.get(a2).kind(), TrackKind::Gauge, "original untouched");
+        set.record(a, Time(5), 7);
+        set.record(b, Time(5), 1);
+        let names: Vec<&str> = set.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert_eq!(set.by_name("a").unwrap().sum(), 7.0);
+        assert!(set.by_name("zz").is_none());
+        assert_eq!(set.len(), 2);
+        let rendered = set.summary_json().render();
+        assert!(rendered.contains("\"bucket_width_ps\""));
+        assert!(rendered.contains("\"kind\": \"gauge\""));
+    }
+
+    #[test]
+    fn empty_timeline_reports_zeros() {
+        let tl = Timeline::new(TrackKind::Counter, 1.0);
+        assert_eq!(tl.count(), 0);
+        assert_eq!(tl.sum(), 0.0);
+        assert_eq!(tl.min(), 0.0);
+        assert_eq!(tl.max(), 0.0);
+        assert_eq!(tl.mean(), 0.0);
+        assert_eq!(tl.points(), 0);
+        assert_eq!(tl.capacity_used(), 0);
+        assert!(tl.series().values.is_empty());
+    }
+}

@@ -93,7 +93,7 @@ fn sampler_series_are_well_formed() {
     let end = Time::from_millis(10);
     s.net.run_until(end);
 
-    let series = &s.net.samples.flow_bytes[&f];
+    let series = s.net.flow_bytes_timeline(f).expect("sampled").series();
     assert!(series.times.windows(2).all(|w| w[0] < w[1]));
     assert!(series.values.windows(2).all(|w| w[0] <= w[1]));
     assert!(series.times.len() > 90, "one sample per 100 µs");
@@ -103,14 +103,17 @@ fn sampler_series_are_well_formed() {
     let direct = s.net.flow_stats(f).delivered_bytes as f64 * 8.0 / 10e-3 / 1e9;
     assert!((g - direct).abs() < 0.5, "goodput {g:.2} vs {direct:.2}");
 
-    // Queue series exists and stays tiny for a single flow.
-    let q = &s.net.samples.queue_depths[&(s.switch, PortId(2))];
-    assert!(!q.values.is_empty());
-    assert!(q.values.iter().all(|&v| v < 20_000.0));
+    // Queue track exists and stays tiny for a single flow.
+    let q = s.net.queue_timeline(s.switch, PortId(2)).expect("sampled");
+    assert!(q.count() > 0);
+    assert!(q.max() < 20_000.0);
 
-    // Rate series reports the line rate for an uncontrolled flow.
-    let r = &s.net.samples.flow_rates[&f];
-    assert!(r.values.iter().all(|&v| (v - 40.0).abs() < 1e-9));
+    // Rate track reports the line rate for an uncontrolled flow.
+    let r = s.net.flow_rate_timeline(f).expect("sampled");
+    for b in r.buckets() {
+        let v = r.representative(&b);
+        assert!((v - 40.0).abs() < 1e-6, "line rate, got {v}");
+    }
 }
 
 /// Hooks fire at their scheduled time and can mutate the network

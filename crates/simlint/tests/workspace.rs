@@ -50,6 +50,27 @@ fn computed_hot_set_covers_legacy_lists() {
     }
 }
 
+/// The sampler tick runs inside the dispatch loop: the timeline engine
+/// it records into is hot code, and the hot-path rules (no allocation,
+/// no by-name metric lookups) must keep applying to it. Losing this
+/// file from the reachability set would silently un-lint the sampling
+/// path.
+#[test]
+fn sampling_path_is_in_the_hot_set() {
+    let sources = collect_workspace_sources(&workspace_root()).expect("collect");
+    let a = analyze_sources(&sources, &Config::default());
+    for file in [
+        "crates/netsim/src/telemetry/timeline.rs",
+        "crates/netsim/src/network.rs",
+    ] {
+        assert!(
+            a.hot_files.iter().any(|f| f == file),
+            "sampling-path file {file} fell out of the hot set; hot set: {:#?}",
+            a.hot_files
+        );
+    }
+}
+
 #[test]
 fn workspace_is_clean_under_the_checked_in_baseline() {
     let root = workspace_root();

@@ -41,15 +41,8 @@ fn packet_incast(n: usize, millis: u64) -> (Vec<f64>, f64) {
         .iter()
         .map(|&f| s.net.goodput_gbps(f, from, end))
         .collect();
-    let qs = &s.net.samples.queue_depths[&(s.switch, port)];
-    let tail: Vec<f64> = qs
-        .times
-        .iter()
-        .zip(&qs.values)
-        .filter(|(t, _)| *t >= &from)
-        .map(|(_, v)| *v / 1000.0)
-        .collect();
-    let q_mean = tail.iter().sum::<f64>() / tail.len() as f64;
+    let tl = s.net.queue_timeline(s.switch, port).expect("sampled port");
+    let q_mean = tl.mean_from(from) / 1000.0;
     (goodputs, q_mean)
 }
 

@@ -6,7 +6,6 @@ use dcqcn::prelude::*;
 use experiments::common::CcChoice;
 use experiments::scenarios::{unfairness_run, victim_run};
 use netsim::prelude::*;
-use netsim::stats::percentile;
 use netsim::topology::{parking_lot, star, LinkParams};
 
 /// Figure 3 vs Figure 8: PFC alone is unfair (H4's share dominates);
@@ -75,7 +74,7 @@ fn dcqcn_fixes_victim_flow() {
 /// than DCTCP's (76.6 vs 162.9 KB at the 90th percentile in the paper).
 #[test]
 fn dcqcn_queue_is_shorter_than_dctcp() {
-    let sample = |dcqcn_mode: bool| -> Vec<f64> {
+    let sample = |dcqcn_mode: bool| -> f64 {
         let (host, sw): (HostConfig, SwitchConfig) = if dcqcn_mode {
             (
                 dcqcn_host_config(DcqcnParams::paper()),
@@ -116,17 +115,12 @@ fn dcqcn_queue_is_shorter_than_dctcp() {
             },
         );
         s.net.run_until(Time::from_millis(120));
-        let series = &s.net.samples.queue_depths[&(s.switch, port)];
-        series
-            .times
-            .iter()
-            .zip(&series.values)
-            .filter(|(t, _)| t.as_secs_f64() >= 0.04)
-            .map(|(_, v)| *v / 1000.0)
-            .collect()
+        let tl = s.net.queue_timeline(s.switch, port).expect("sampled port");
+        // Skip the first 40 ms line-rate transient, as before.
+        tl.weighted_percentile(90.0, Time::from_millis(40)) / 1000.0
     };
-    let q_dcqcn = percentile(&sample(true), 90.0);
-    let q_dctcp = percentile(&sample(false), 90.0);
+    let q_dcqcn = sample(true);
+    let q_dctcp = sample(false);
     assert!(q_dcqcn < 110.0, "DCQCN p90 {q_dcqcn:.1} KB (paper 76.6)");
     assert!(
         (130.0..200.0).contains(&q_dctcp),
